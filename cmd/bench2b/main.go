@@ -1,0 +1,83 @@
+// Command bench2b regenerates the paper's tables and figures on the
+// simulated 2B-SSD stack.
+//
+// Usage:
+//
+//	bench2b [-full] [experiment ...]
+//
+// Experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf
+// mixed recovery ablations all (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twobssd/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at full scale (slower, closer to the paper's run lengths)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd ablations all\n")
+	}
+	flag.Parse()
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+
+	runners := map[string]func(){
+		"tab1":  func() { bench.Spec().Print(os.Stdout) },
+		"fig7a": func() { bench.Fig7a(scale).Print(os.Stdout) },
+		"fig7b": func() { bench.Fig7b(scale).Print(os.Stdout) },
+		"fig8a": func() { bench.Fig8a(scale).Print(os.Stdout) },
+		"fig8b": func() { bench.Fig8b(scale).Print(os.Stdout) },
+		"fig9": func() {
+			bench.Fig9PG(scale).Print(os.Stdout)
+			bench.Fig9LSM(scale).Print(os.Stdout)
+			bench.Fig9AOF(scale).Print(os.Stdout)
+		},
+		"fig10":     func() { bench.Fig10(scale).Print(os.Stdout) },
+		"commit":    func() { bench.CommitOverhead(scale).Print(os.Stdout) },
+		"waf":       func() { bench.WAFReduction(scale).Print(os.Stdout) },
+		"mixed":     func() { bench.MixedWorkload(scale).Print(os.Stdout) },
+		"recovery":  func() { bench.Recovery(scale).Print(os.Stdout) },
+		"tail":      func() { bench.TailLatency(scale).Print(os.Stdout) },
+		"smallread": func() { bench.SmallRead(scale).Print(os.Stdout) },
+		"pmr":       func() { bench.PMRComparison(scale).Print(os.Stdout) },
+		"journal":   func() { bench.Journaling(scale).Print(os.Stdout) },
+		"qd":        func() { bench.QueueDepth(scale).Print(os.Stdout) },
+		"ablations": func() {
+			bench.AblationWriteCombining(scale).Print(os.Stdout)
+			bench.AblationDoubleBuffering(scale).Print(os.Stdout)
+			bench.AblationGroupCommit(scale).Print(os.Stdout)
+		},
+	}
+	order := []string{"tab1", "fig7a", "fig7b", "fig8a", "fig8b", "fig9",
+		"fig10", "commit", "waf", "mixed", "recovery", "tail", "smallread",
+		"pmr", "journal", "qd", "ablations"}
+
+	for _, arg := range args {
+		if arg == "all" {
+			for _, id := range order {
+				runners[id]()
+			}
+			continue
+		}
+		run, ok := runners[arg]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench2b: unknown experiment %q\n", arg)
+			flag.Usage()
+			os.Exit(2)
+		}
+		run()
+	}
+}

@@ -1,0 +1,3 @@
+module twobssd
+
+go 1.22

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+
+	"twobssd/internal/linkbench"
+	"twobssd/internal/sim"
+	"twobssd/internal/ycsb"
+)
+
+// fig9Configs are the Fig 9 series: two block baselines, BA-WAL on the
+// 2B-SSD, and asynchronous commit as the theoretical maximum.
+var fig9Configs = []LogDevice{LogDC, LogULL, Log2B, LogAsync}
+
+// runPGLinkbench measures pglite throughput under LinkBench for one
+// log-device configuration.
+func runPGLinkbench(cfg LogDevice, s Scale) float64 {
+	st := newStack(cfg)
+	var g *pgGraph
+	st.env.Go("setup", func(p *sim.Proc) {
+		var err error
+		g, err = newPGGraph(st.env, p, st)
+		if err != nil {
+			panic(fmt.Sprintf("%v: %v", errSetupFailed, err))
+		}
+		gen := linkbench.NewGenerator(linkbench.Config{Nodes: s.Nodes, Seed: 11})
+		if err := gen.Load(p, g, 2); err != nil {
+			panic(err)
+		}
+	})
+	st.env.Run()
+	res, err := linkbench.Run(st.env, g, linkbench.Config{Nodes: s.Nodes, Seed: 23}, s.Clients, s.AppOps)
+	if err != nil {
+		panic(err)
+	}
+	return res.Throughput()
+}
+
+// runYCSB measures one KV engine's throughput under YCSB-A for one
+// payload size and log-device configuration.
+func runYCSB(engine string, cfg LogDevice, payload int, s Scale) float64 {
+	st := newStack(cfg)
+	var kv ycsb.KV
+	st.env.Go("setup", func(p *sim.Proc) {
+		var err error
+		switch engine {
+		case "lsm":
+			kv, err = newLSMKV(st.env, p, st)
+		case "kvaof":
+			kv, err = newAOFKV(st.env, p, st)
+		default:
+			panic("unknown engine " + engine)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("%v: %v", errSetupFailed, err))
+		}
+		gen := ycsb.NewGenerator(ycsb.WorkloadA(s.Records, payload, 5))
+		if err := gen.Load(p, kv); err != nil {
+			panic(err)
+		}
+	})
+	st.env.Run()
+	res, err := ycsb.Run(st.env, kv, ycsb.WorkloadA(s.Records, payload, 31), s.Clients, s.AppOps)
+	if err != nil {
+		panic(err)
+	}
+	return res.Throughput()
+}
+
+// Fig9PG reproduces the PostgreSQL/Linkbench panel of Fig 9.
+func Fig9PG(s Scale) *Table {
+	t := &Table{
+		ID: "fig9-pglite", Title: "pglite (PostgreSQL-like) / Linkbench throughput",
+		XLabel: "workload", Unit: "ops/s",
+		Series: []string{"DC-SSD", "ULL-SSD", "2B-SSD", "ASYNC"},
+		Notes: []string{
+			"expected shape: 2B-SSD 1.2-2.8x over DC-SSD, 75-95% of ASYNC.",
+		},
+	}
+	var vals []float64
+	for _, cfg := range fig9Configs {
+		vals = append(vals, runPGLinkbench(cfg, s))
+	}
+	t.AddRow("linkbench", vals...)
+	return t
+}
+
+// fig9Payloads are the YCSB payload sizes swept in Fig 9.
+var fig9Payloads = []int{64, 256, 1024}
+
+func fig9KV(engine, id, title string, s Scale) *Table {
+	t := &Table{
+		ID: id, Title: title,
+		XLabel: "payload", Unit: "ops/s",
+		Series: []string{"DC-SSD", "ULL-SSD", "2B-SSD", "ASYNC"},
+		Notes: []string{
+			"expected shape: gain grows as payload shrinks (BA-WAL writes",
+			"only what is needed; block WAL writes a 4KB page regardless).",
+		},
+	}
+	for _, payload := range fig9Payloads {
+		var vals []float64
+		for _, cfg := range fig9Configs {
+			vals = append(vals, runYCSB(engine, cfg, payload, s))
+		}
+		t.AddRow(fmt.Sprintf("%dB", payload), vals...)
+	}
+	return t
+}
+
+// Fig9LSM reproduces the RocksDB/YCSB-A panel of Fig 9.
+func Fig9LSM(s Scale) *Table {
+	return fig9KV("lsm", "fig9-lsm", "lsm (RocksDB-like) / YCSB-A throughput", s)
+}
+
+// Fig9AOF reproduces the Redis/YCSB-A panel of Fig 9.
+func Fig9AOF(s Scale) *Table {
+	return fig9KV("kvaof", "fig9-kvaof", "kvaof (Redis-like) / YCSB-A throughput", s)
+}
+
+// Fig10 compares the hybrid store (2B-SSD baseline) against the
+// heterogeneous-memory architecture (PM + block SSD) and ASYNC on
+// pglite/Linkbench, normalized to the baseline.
+func Fig10(s Scale) *Table {
+	t := &Table{
+		ID: "fig10", Title: "Heterogeneous memory vs hybrid store (pglite/Linkbench)",
+		XLabel: "config", Unit: "normalized throughput",
+		Series: []string{"throughput"},
+		Notes: []string{
+			"expected shape: all four configurations within ~1% of each",
+			"other (the paper: PM+DC -0.6%, PM+ULL +0.4% vs baseline).",
+		},
+	}
+	base := runPGLinkbench(Log2B, s)
+	t.AddRow("2B-SSD (base)", 1.0)
+	t.AddRow("PM+ULL-SSD", runPGLinkbench(LogPMULL, s)/base)
+	t.AddRow("PM+DC-SSD", runPGLinkbench(LogPMDC, s)/base)
+	t.AddRow("ASYNC", runPGLinkbench(LogAsync, s)/base)
+	return t
+}

@@ -1,0 +1,93 @@
+package fio
+
+import (
+	"testing"
+
+	"twobssd/internal/core"
+	"twobssd/internal/device"
+	"twobssd/internal/sim"
+)
+
+func ull(e *sim.Env) *device.Device { return device.New(e, device.ULLSSD()) }
+func dc(e *sim.Env) *device.Device  { return device.New(e, device.DCSSD()) }
+func ssd2b(e *sim.Env) *core.TwoBSSD {
+	return core.New(e, core.DefaultConfig())
+}
+
+func TestPagesFor(t *testing.T) {
+	cases := []struct{ bytes, want int }{
+		{0, 1}, {1, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {-3, 1},
+	}
+	for _, c := range cases {
+		if got := pagesFor(c.bytes, 4096); got != c.want {
+			t.Errorf("pagesFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestMBps(t *testing.T) {
+	if got := MBps(1000000, sim.Second); got != 1.0 {
+		t.Fatalf("MBps = %v", got)
+	}
+	if MBps(100, 0) != 0 {
+		t.Fatal("zero duration should yield 0")
+	}
+}
+
+func TestBlockLatenciesMatchCalibration(t *testing.T) {
+	if got := BlockReadLatency(ull, 4096, 5); got < 12*sim.Microsecond || got > 15*sim.Microsecond {
+		t.Errorf("ULL 4KB read = %v", got)
+	}
+	if got := BlockWriteLatency(dc, 4096, 5); got < 15*sim.Microsecond || got > 19*sim.Microsecond {
+		t.Errorf("DC 4KB write = %v", got)
+	}
+	// Sub-page requests cost a full page.
+	if a, b := BlockReadLatency(ull, 64, 3), BlockReadLatency(ull, 4096, 3); a != b {
+		t.Errorf("sub-page read %v != page read %v", a, b)
+	}
+}
+
+func TestMMIOLatencies(t *testing.T) {
+	if got := MMIOWriteLatency(ssd2b, 8, 5, false); got != 630 {
+		t.Errorf("8B MMIO write = %v, want 630ns", got)
+	}
+	plain := MMIOWriteLatency(ssd2b, 4096, 5, false)
+	persistent := MMIOWriteLatency(ssd2b, 4096, 5, true)
+	if persistent <= plain {
+		t.Error("persistent write should cost more")
+	}
+	mmio := MMIOReadLatency(ssd2b, 4096, 3, false)
+	dma := MMIOReadLatency(ssd2b, 4096, 3, true)
+	if dma >= mmio {
+		t.Errorf("DMA (%v) should beat MMIO (%v) at 4KB", dma, mmio)
+	}
+}
+
+func TestBandwidthSweeps(t *testing.T) {
+	small := BlockBandwidth(ull, 4<<10, false)
+	big := BlockBandwidth(ull, 1<<20, false)
+	if big <= small {
+		t.Errorf("read bandwidth should grow: %v -> %v", small, big)
+	}
+	w := BlockBandwidth(dc, 1<<20, true)
+	if w < 500 || w > 2500 {
+		t.Errorf("DC 1MB write bandwidth = %.0f MB/s", w)
+	}
+	ir := InternalBandwidth(ssd2b, 1<<20, false)
+	iw := InternalBandwidth(ssd2b, 1<<20, true)
+	if ir < 1000 || ir > 3000 {
+		t.Errorf("internal read bandwidth = %.0f MB/s", ir)
+	}
+	if iw < 1000 || iw > 3000 {
+		t.Errorf("internal write bandwidth = %.0f MB/s", iw)
+	}
+}
+
+func TestInternalBandwidthChunksThroughBuffer(t *testing.T) {
+	// A request larger than the BA-buffer must still complete (chunked
+	// pin/flush) and report sane bandwidth.
+	got := InternalBandwidth(ssd2b, 12<<20, true) // 12MB > 8MB buffer
+	if got < 1000 || got > 3000 {
+		t.Fatalf("chunked internal bandwidth = %.0f MB/s", got)
+	}
+}

@@ -1,0 +1,425 @@
+// Package ftl implements a page-mapped flash translation layer over a
+// nand.Flash: logical-to-physical mapping, out-of-place updates, greedy
+// garbage collection, over-provisioning and write-amplification
+// accounting.
+//
+// The FTL is the substrate behind every block device in this
+// repository; its WAF counters are what make the paper's
+// "BA-WAL reduces write amplification" claim (Section IV-A) measurable
+// rather than asserted.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"twobssd/internal/nand"
+	"twobssd/internal/sim"
+)
+
+// LBA is a logical page address (page-granular, typically 4 KB units).
+type LBA uint64
+
+const invalidLBA = LBA(^uint64(0))
+
+// Config tunes the translation layer.
+type Config struct {
+	// OverProvision is the fraction of usable blocks hidden from the
+	// host to give GC room (e.g. 0.07 for 7 %).
+	OverProvision float64
+	// ReservedPerDie blocks at the end of every die are removed from
+	// FTL accounting; the 2B-SSD recovery manager owns them (a
+	// die-parallel dump area for power-loss protection).
+	ReservedPerDie int
+	// GCFreeTarget triggers garbage collection when the free-block
+	// count drops to this value. Zero selects a safe default.
+	GCFreeTarget int
+}
+
+// Stats captures FTL health and write-amplification counters.
+type Stats struct {
+	HostPageWrites uint64 // pages written by the host
+	HostPageReads  uint64
+	NandPagewrites uint64 // pages programmed on flash (host + GC)
+	GCRelocations  uint64 // valid pages moved by GC
+	GCRuns         uint64
+	FreeBlocks     int
+}
+
+// WAF returns the write-amplification factor (NAND writes per host
+// write). It reports 1.0 before any host write.
+func (s Stats) WAF() float64 {
+	if s.HostPageWrites == 0 {
+		return 1.0
+	}
+	return float64(s.NandPagewrites) / float64(s.HostPageWrites)
+}
+
+// Errors reported by the FTL.
+var (
+	ErrLBAOutOfRange = errors.New("ftl: LBA out of exported range")
+	ErrNoSpace       = errors.New("ftl: no free blocks (device full)")
+)
+
+type openBlock struct {
+	blk      nand.BlockID
+	nextPage int
+}
+
+// FTL is a page-mapping translation layer bound to one flash array.
+type FTL struct {
+	env   *sim.Env
+	flash *nand.Flash
+	cfg   Config
+
+	exportedPages uint64
+	usableBlocks  int
+
+	l2p        map[LBA]nand.PPA
+	p2l        map[nand.PPA]LBA
+	validCount []int // valid pages per usable block
+	free       []nand.BlockID
+	open       []openBlock // one open block per die, nil blk = -1
+	nextDie    int
+
+	// dieLocks serialize allocate+program per die so concurrent writer
+	// processes cannot reorder page programs within a block (the NAND
+	// sequential-program rule). gcLock serializes garbage collection.
+	// Lock order: gcLock strictly before any dieLock.
+	dieLocks []*sim.Resource
+	gcLock   *sim.Resource
+
+	stats Stats
+}
+
+// New builds an FTL over flash. Panics on impossible configurations
+// (construction-time misuse).
+func New(env *sim.Env, flash *nand.Flash, cfg Config) *FTL {
+	fc := flash.Config()
+	if cfg.ReservedPerDie < 0 || cfg.ReservedPerDie >= fc.BlocksPerDie {
+		panic("ftl: ReservedPerDie out of range")
+	}
+	usable := fc.Blocks() - cfg.ReservedPerDie*fc.Dies()
+	if usable <= fc.Dies()+2 {
+		panic(fmt.Sprintf("ftl: only %d usable blocks; need > dies+2", usable))
+	}
+	if cfg.OverProvision < 0 || cfg.OverProvision >= 0.9 {
+		panic("ftl: OverProvision must be in [0, 0.9)")
+	}
+	if cfg.GCFreeTarget <= 0 {
+		cfg.GCFreeTarget = fc.Dies() + 2
+	}
+	opBlocks := int(float64(usable) * cfg.OverProvision)
+	if opBlocks < cfg.GCFreeTarget+1 {
+		opBlocks = cfg.GCFreeTarget + 1
+	}
+	exported := uint64(usable-opBlocks) * uint64(fc.PagesPerBlock)
+	f := &FTL{
+		env:           env,
+		flash:         flash,
+		cfg:           cfg,
+		exportedPages: exported,
+		usableBlocks:  usable,
+		l2p:           make(map[LBA]nand.PPA),
+		p2l:           make(map[nand.PPA]LBA),
+		validCount:    make([]int, fc.Blocks()),
+		open:          make([]openBlock, fc.Dies()),
+	}
+	for i := range f.open {
+		f.open[i] = openBlock{blk: nand.BlockID(0), nextPage: -1}
+	}
+	for i := 0; i < fc.Dies(); i++ {
+		f.dieLocks = append(f.dieLocks, env.NewResource(fmt.Sprintf("ftl.die%d", i), 1))
+	}
+	f.gcLock = env.NewResource("ftl.gc", 1)
+	// All non-reserved blocks start free (the last ReservedPerDie
+	// blocks of each die belong to the recovery manager).
+	for b := 0; b < fc.Blocks(); b++ {
+		if !f.reserved(nand.BlockID(b)) {
+			f.free = append(f.free, nand.BlockID(b))
+		}
+	}
+	return f
+}
+
+// reserved reports whether a block belongs to the recovery dump area.
+func (f *FTL) reserved(blk nand.BlockID) bool {
+	if f.cfg.ReservedPerDie == 0 {
+		return false
+	}
+	bpd := f.flash.Config().BlocksPerDie
+	return int(uint64(blk)%uint64(bpd)) >= bpd-f.cfg.ReservedPerDie
+}
+
+// Config returns the FTL configuration in effect (with defaults filled).
+func (f *FTL) Config() Config { return f.cfg }
+
+// WearStats summarizes erase wear across the usable blocks — the
+// "SSD lifespan" side of the paper's WAF argument (Section IV-A).
+type WearStats struct {
+	MinErase, MaxErase int
+	TotalErase         uint64
+	RetiredBlocks      int
+}
+
+// Wear scans the usable blocks and reports erase-cycle statistics.
+func (f *FTL) Wear() WearStats {
+	fc := f.flash.Config()
+	w := WearStats{MinErase: int(^uint(0) >> 1)}
+	for b := 0; b < fc.Blocks(); b++ {
+		blk := nand.BlockID(b)
+		if f.reserved(blk) {
+			continue
+		}
+		if f.flash.IsBad(blk) {
+			w.RetiredBlocks++
+			continue
+		}
+		ec := f.flash.EraseCount(blk)
+		if ec < w.MinErase {
+			w.MinErase = ec
+		}
+		if ec > w.MaxErase {
+			w.MaxErase = ec
+		}
+		w.TotalErase += uint64(ec)
+	}
+	if w.MinErase == int(^uint(0)>>1) {
+		w.MinErase = 0
+	}
+	return w
+}
+
+// ExportedPages reports the number of host-visible logical pages.
+func (f *FTL) ExportedPages() uint64 { return f.exportedPages }
+
+// PageSize reports the logical/physical page size in bytes.
+func (f *FTL) PageSize() int { return f.flash.Config().PageSize }
+
+// Stats returns a snapshot of FTL counters.
+func (f *FTL) Stats() Stats {
+	s := f.stats
+	s.FreeBlocks = len(f.free)
+	return s
+}
+
+// Mapped reports whether an LBA currently has a physical mapping.
+func (f *FTL) Mapped(lba LBA) bool {
+	_, ok := f.l2p[lba]
+	return ok
+}
+
+func (f *FTL) checkLBA(lba LBA) error {
+	if uint64(lba) >= f.exportedPages {
+		return fmt.Errorf("%w: %d >= %d", ErrLBAOutOfRange, lba, f.exportedPages)
+	}
+	return nil
+}
+
+// popFree removes and returns a free block, preferring one on the given
+// die to preserve program parallelism. Returns false when none remain.
+func (f *FTL) popFree(die int) (nand.BlockID, bool) {
+	if len(f.free) == 0 {
+		return 0, false
+	}
+	fc := f.flash.Config()
+	for i, b := range f.free {
+		if int(uint64(b)/uint64(fc.BlocksPerDie)) == die {
+			f.free = append(f.free[:i], f.free[i+1:]...)
+			return b, true
+		}
+	}
+	b := f.free[0]
+	f.free = f.free[1:]
+	return b, true
+}
+
+// allocPPA returns the next physical page on the preferred die's open
+// block, opening a fresh block if needed.
+func (f *FTL) allocPPA(p *sim.Proc, die int) (nand.PPA, error) {
+	fc := f.flash.Config()
+	ob := &f.open[die]
+	for {
+		if ob.nextPage < 0 || ob.nextPage >= fc.PagesPerBlock {
+			blk, ok := f.popFree(die)
+			if !ok {
+				return 0, ErrNoSpace
+			}
+			if f.flash.NextPage(blk) != 0 {
+				if err := f.flash.EraseBlock(p, blk); err != nil {
+					// Worn-out or bad block: drop it and retry.
+					continue
+				}
+			}
+			*ob = openBlock{blk: blk, nextPage: 0}
+		}
+		base := uint64(ob.blk) * uint64(fc.PagesPerBlock)
+		ppa := nand.PPA(base + uint64(ob.nextPage))
+		ob.nextPage++
+		return ppa, nil
+	}
+}
+
+func (f *FTL) invalidate(ppa nand.PPA) {
+	if old, ok := f.p2l[ppa]; ok && old != invalidLBA {
+		delete(f.p2l, ppa)
+		blk := f.flash.Config().BlockOf(ppa)
+		f.validCount[blk]--
+	}
+}
+
+// WritePage writes one logical page out of place. The data may be
+// shorter than a page (zero padded by the flash layer).
+func (f *FTL) WritePage(p *sim.Proc, lba LBA, data []byte) error {
+	if err := f.checkLBA(lba); err != nil {
+		return err
+	}
+	if err := f.maybeGC(p); err != nil {
+		return err
+	}
+	die := f.nextDie
+	f.nextDie = (f.nextDie + 1) % len(f.open)
+	f.dieLocks[die].Acquire(p)
+	ppa, err := f.allocPPA(p, die)
+	if err != nil {
+		f.dieLocks[die].Release()
+		return err
+	}
+	err = f.flash.ProgramPage(p, ppa, data)
+	f.dieLocks[die].Release()
+	if err != nil {
+		return fmt.Errorf("ftl: program failed: %w", err)
+	}
+	if old, ok := f.l2p[lba]; ok {
+		f.invalidate(old)
+	}
+	f.l2p[lba] = ppa
+	f.p2l[ppa] = lba
+	f.validCount[f.flash.Config().BlockOf(ppa)]++
+	f.stats.HostPageWrites++
+	f.stats.NandPagewrites++
+	return nil
+}
+
+// ReadPage reads one logical page. Unmapped pages return zeroes without
+// touching flash (the controller answers from the map).
+func (f *FTL) ReadPage(p *sim.Proc, lba LBA) ([]byte, error) {
+	if err := f.checkLBA(lba); err != nil {
+		return nil, err
+	}
+	f.stats.HostPageReads++
+	ppa, ok := f.l2p[lba]
+	if !ok {
+		return make([]byte, f.PageSize()), nil
+	}
+	return f.flash.ReadPage(p, ppa)
+}
+
+// Trim invalidates a logical page without writing.
+func (f *FTL) Trim(lba LBA) error {
+	if err := f.checkLBA(lba); err != nil {
+		return err
+	}
+	if ppa, ok := f.l2p[lba]; ok {
+		f.invalidate(ppa)
+		delete(f.l2p, lba)
+	}
+	return nil
+}
+
+// maybeGC runs greedy garbage collection until the free-block pool is
+// back above the target. Inline (foreground) GC: the writing process
+// pays the reclamation cost, which is exactly the tail-latency effect
+// the paper attributes to fsync-heavy logging. gcLock serializes
+// collectors; it is always taken before any die lock.
+func (f *FTL) maybeGC(p *sim.Proc) error {
+	if len(f.free) > f.cfg.GCFreeTarget {
+		return nil
+	}
+	f.gcLock.Acquire(p)
+	defer f.gcLock.Release()
+	fc := f.flash.Config()
+	for len(f.free) <= f.cfg.GCFreeTarget {
+		victim, ok := f.pickVictim()
+		if !ok {
+			if len(f.free) == 0 {
+				return ErrNoSpace
+			}
+			return nil // nothing reclaimable; still have some room
+		}
+		f.stats.GCRuns++
+		base := uint64(victim) * uint64(fc.PagesPerBlock)
+		for pg := 0; pg < fc.PagesPerBlock; pg++ {
+			ppa := nand.PPA(base + uint64(pg))
+			lba, valid := f.p2l[ppa]
+			if !valid {
+				continue
+			}
+			data, err := f.flash.ReadPage(p, ppa)
+			if err != nil {
+				return fmt.Errorf("ftl: gc read: %w", err)
+			}
+			die := int(uint64(victim)/uint64(fc.BlocksPerDie)+1) % fc.Dies()
+			f.dieLocks[die].Acquire(p)
+			dst, err := f.allocPPA(p, die)
+			if err != nil {
+				f.dieLocks[die].Release()
+				return err
+			}
+			err = f.flash.ProgramPage(p, dst, data)
+			f.dieLocks[die].Release()
+			if err != nil {
+				return fmt.Errorf("ftl: gc program: %w", err)
+			}
+			f.invalidate(ppa)
+			f.l2p[lba] = dst
+			f.p2l[dst] = lba
+			f.validCount[fc.BlockOf(dst)]++
+			f.stats.GCRelocations++
+			f.stats.NandPagewrites++
+		}
+		if err := f.flash.EraseBlock(p, victim); err != nil {
+			// Worn out: block retired, not returned to the pool.
+			continue
+		}
+		f.free = append(f.free, victim)
+	}
+	return nil
+}
+
+// pickVictim selects the closed block with the fewest valid pages
+// (greedy). Open and free blocks are excluded.
+func (f *FTL) pickVictim() (nand.BlockID, bool) {
+	fc := f.flash.Config()
+	openSet := make(map[nand.BlockID]bool, len(f.open))
+	for _, ob := range f.open {
+		if ob.nextPage >= 0 {
+			openSet[ob.blk] = true
+		}
+	}
+	freeSet := make(map[nand.BlockID]bool, len(f.free))
+	for _, b := range f.free {
+		freeSet[b] = true
+	}
+	best := nand.BlockID(0)
+	bestValid := fc.PagesPerBlock + 1
+	found := false
+	for b := 0; b < fc.Blocks(); b++ {
+		blk := nand.BlockID(b)
+		if f.reserved(blk) || openSet[blk] || freeSet[blk] || f.flash.IsBad(blk) {
+			continue
+		}
+		if f.flash.NextPage(blk) == 0 {
+			continue // never programmed since erase; nothing to reclaim
+		}
+		if v := f.validCount[b]; v < bestValid {
+			best, bestValid, found = blk, v, true
+		}
+	}
+	if !found || bestValid >= fc.PagesPerBlock {
+		// Only fully-valid blocks left: reclaiming one frees nothing
+		// (it would rewrite a whole block to free a whole block).
+		return 0, false
+	}
+	return best, true
+}

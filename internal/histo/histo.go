@@ -1,0 +1,184 @@
+// Package histo provides a log-bucketed latency histogram for
+// virtual-time measurements: constant memory, ~4 % relative error, and
+// percentile queries. The paper argues BA-WAL "optimizes both tail
+// latencies and SSD lifespan" (Section IV-A); the fio and bench layers
+// use these histograms to make the tail observable.
+package histo
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"twobssd/internal/sim"
+)
+
+// bucketsPerOctave subdivides each power of two; 16 gives ~4.3 %
+// worst-case relative error on reconstructed values.
+const bucketsPerOctave = 16
+
+// maxBuckets covers 1 ns .. ~1100 s.
+const maxBuckets = 64 * bucketsPerOctave / 2
+
+// H is a latency histogram. The zero value is ready to use.
+type H struct {
+	counts [maxBuckets]uint64
+	n      uint64
+	sum    sim.Duration
+	min    sim.Duration
+	max    sim.Duration
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d sim.Duration) int {
+	if d < 1 {
+		return 0
+	}
+	l := math.Log2(float64(d))
+	idx := int(l * bucketsPerOctave)
+	if idx >= maxBuckets {
+		idx = maxBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lower bound of a bucket.
+func bucketLow(idx int) sim.Duration {
+	return sim.Duration(math.Exp2(float64(idx) / bucketsPerOctave))
+}
+
+// Observe records one sample.
+func (h *H) Observe(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.n++
+	h.sum += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// N returns the sample count.
+func (h *H) N() uint64 { return h.n }
+
+// Mean returns the average sample.
+func (h *H) Mean() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.n)
+}
+
+// Min and Max return the extreme samples.
+func (h *H) Min() sim.Duration { return h.min }
+
+// Max returns the largest sample.
+func (h *H) Max() sim.Duration { return h.max }
+
+// Quantile returns an approximation of the q-quantile (0 < q <= 1).
+func (h *H) Quantile(q float64) sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.n))
+	if target >= h.n {
+		target = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > target {
+			// Clamp the reconstruction to the observed range.
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// P50, P99 and P999 are convenience accessors for common tails.
+func (h *H) P50() sim.Duration { return h.Quantile(0.50) }
+
+// P99 returns the 99th percentile.
+func (h *H) P99() sim.Duration { return h.Quantile(0.99) }
+
+// P999 returns the 99.9th percentile.
+func (h *H) P999() sim.Duration { return h.Quantile(0.999) }
+
+// Merge folds other into h.
+func (h *H) Merge(other *H) {
+	if other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
+// String summarizes the distribution.
+func (h *H) String() string {
+	if h.n == 0 {
+		return "histo{empty}"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p99.9=%v max=%v",
+		h.n, h.Mean(), h.P50(), h.P99(), h.P999(), h.max)
+}
+
+// Bars renders a coarse ASCII distribution (for CLI output).
+func (h *H) Bars(width int) string {
+	if h.n == 0 {
+		return "(no samples)"
+	}
+	// Collapse to octaves for readability.
+	type row struct {
+		low   sim.Duration
+		count uint64
+	}
+	var rows []row
+	for i := 0; i < maxBuckets; i += bucketsPerOctave {
+		var c uint64
+		for j := i; j < i+bucketsPerOctave && j < maxBuckets; j++ {
+			c += h.counts[j]
+		}
+		if c > 0 {
+			rows = append(rows, row{low: bucketLow(i), count: c})
+		}
+	}
+	var peak uint64
+	for _, r := range rows {
+		if r.count > peak {
+			peak = r.count
+		}
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		bar := int(uint64(width) * r.count / peak)
+		fmt.Fprintf(&sb, "%10v │%-*s│ %d\n", r.low, width, strings.Repeat("█", bar), r.count)
+	}
+	return sb.String()
+}

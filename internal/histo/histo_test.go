@@ -1,0 +1,150 @@
+package histo
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"twobssd/internal/sim"
+)
+
+func TestEmpty(t *testing.T) {
+	var h H
+	if h.N() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.String() != "histo{empty}" {
+		t.Fatalf("String = %q", h.String())
+	}
+	if h.Bars(10) != "(no samples)" {
+		t.Fatal("Bars on empty")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h H
+	h.Observe(1000)
+	if h.N() != 1 || h.Mean() != 1000 || h.Min() != 1000 || h.Max() != 1000 {
+		t.Fatalf("h = %s", h.String())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 1000 {
+			t.Fatalf("Quantile(%v) = %v", q, v)
+		}
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h H
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatalf("min = %v", h.Min())
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	var h H
+	rng := rand.New(rand.NewSource(1))
+	var samples []sim.Duration
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over 100ns .. 1ms.
+		d := sim.Duration(100 * (1 << rng.Intn(14)))
+		d += sim.Duration(rng.Int63n(int64(d)))
+		h.Observe(d)
+		samples = append(samples, d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := h.Quantile(q)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Errorf("q=%v: got %v exact %v (ratio %.3f)", q, got, exact, ratio)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b H
+	for i := 1; i <= 100; i++ {
+		a.Observe(sim.Duration(i))
+	}
+	for i := 1000; i <= 2000; i += 10 {
+		b.Observe(sim.Duration(i))
+	}
+	n := a.N() + b.N()
+	a.Merge(&b)
+	if a.N() != n {
+		t.Fatalf("merged n = %d, want %d", a.N(), n)
+	}
+	if a.Min() != 1 || a.Max() != 2000 {
+		t.Fatalf("merged range [%v,%v]", a.Min(), a.Max())
+	}
+	var empty H
+	a.Merge(&empty) // no-op
+	if a.N() != n {
+		t.Fatal("merging empty changed n")
+	}
+}
+
+func TestBarsRender(t *testing.T) {
+	var h H
+	for i := 0; i < 100; i++ {
+		h.Observe(500)
+		h.Observe(50000)
+	}
+	out := h.Bars(20)
+	if !strings.Contains(out, "█") {
+		t.Fatalf("no bars in:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 2 {
+		t.Fatalf("expected >= 2 rows:\n%s", out)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min, max].
+func TestPropertyQuantileMonotone(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h H
+		for _, r := range raw {
+			h.Observe(sim.Duration(r % 10_000_000))
+		}
+		prev := sim.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean equals the true mean exactly (sum is tracked, not
+// reconstructed from buckets).
+func TestPropertyExactMean(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h H
+		var sum int64
+		for _, r := range raw {
+			h.Observe(sim.Duration(r))
+			sum += int64(r)
+		}
+		return h.Mean() == sim.Duration(sum/int64(len(raw)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

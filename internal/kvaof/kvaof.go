@@ -1,0 +1,321 @@
+// Package kvaof is a Redis-like in-memory key-value store with an
+// append-only file (AOF): a single-threaded command loop, a hash
+// dictionary, and one log record per write command.
+//
+// Per the paper's port (Section IV-B) the BA variant sizes the AOF
+// window to the whole BA-buffer with NO double buffering, preserving
+// Redis's single-threaded design: when the pinned window fills, the
+// command stalls while the segment flushes and the next one pins.
+package kvaof
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"twobssd/internal/core"
+	"twobssd/internal/sim"
+	"twobssd/internal/vfs"
+	"twobssd/internal/wal"
+)
+
+// Config assembles a store.
+type Config struct {
+	LogFS *vfs.FS
+
+	WALMode      wal.CommitMode
+	SSD          *core.TwoBSSD
+	EID          core.EID
+	BufferOffset int
+	SegmentBytes int // BA window size (whole BA-buffer per the paper)
+
+	AOFBytes int64 // AOF file capacity
+
+	ReadCPU  sim.Duration
+	WriteCPU sim.Duration
+
+	AsyncFlushInterval sim.Duration
+}
+
+func (c *Config) fillDefaults() error {
+	if c.LogFS == nil {
+		return errors.New("kvaof: LogFS required")
+	}
+	if c.AOFBytes <= 0 {
+		c.AOFBytes = 8 << 20
+	}
+	if c.ReadCPU <= 0 {
+		c.ReadCPU = 1 * sim.Microsecond
+	}
+	if c.WriteCPU <= 0 {
+		c.WriteCPU = 1500 * sim.Nanosecond
+	}
+	if c.WALMode == wal.BA {
+		if c.SSD == nil {
+			return errors.New("kvaof: BA mode needs an SSD")
+		}
+		if c.SegmentBytes <= 0 {
+			return errors.New("kvaof: BA mode needs SegmentBytes")
+		}
+	}
+	return nil
+}
+
+// Stats aggregates store counters.
+type Stats struct {
+	Sets, Gets, Dels uint64
+	Hits             uint64
+	Rewrites         uint64
+}
+
+// Store is the key-value store.
+type Store struct {
+	env  *sim.Env
+	cfg  Config
+	dict map[string][]byte
+	aof  *wal.Log
+	file *vfs.File
+	// loop serializes every command: Redis's single-threaded design.
+	loop  *sim.Resource
+	stats Stats
+}
+
+const aofName = "appendonly.aof"
+
+// Open creates or recovers a store. An existing AOF is replayed.
+func Open(env *sim.Env, p *sim.Proc, cfg Config) (*Store, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		env:  env,
+		cfg:  cfg,
+		dict: make(map[string][]byte),
+		loop: env.NewResource("kvaof.loop", 1),
+	}
+	existing := cfg.LogFS.Exists(aofName)
+	var f *vfs.File
+	var err error
+	if existing {
+		f, err = cfg.LogFS.Open(aofName)
+	} else {
+		f, err = cfg.LogFS.Create(aofName, cfg.AOFBytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.file = f
+	l, err := wal.Open(env, s.walConfig(f))
+	if err != nil {
+		return nil, err
+	}
+	s.aof = l
+	if existing {
+		if err := s.replay(p); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) walConfig(f *vfs.File) wal.Config {
+	cfg := wal.Config{
+		Mode:               s.cfg.WALMode,
+		File:               f,
+		SegmentBytes:       s.cfg.SegmentBytes,
+		AsyncFlushInterval: s.cfg.AsyncFlushInterval,
+	}
+	if s.cfg.WALMode == wal.BA {
+		cfg.SSD = s.cfg.SSD
+		cfg.EIDs = []core.EID{s.cfg.EID}
+		cfg.BufferOffset = s.cfg.BufferOffset
+		cfg.DoubleBuffer = false // single-threaded design (paper IV-B)
+	}
+	return cfg
+}
+
+// Stats returns a snapshot of counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Log exposes the AOF log for commit accounting.
+func (s *Store) Log() *wal.Log { return s.aof }
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return len(s.dict) }
+
+// AOF record encoding.
+const (
+	cmdSet    = byte(1)
+	cmdDel    = byte(2)
+	cmdIncr   = byte(3)
+	cmdAppend = byte(4)
+)
+
+func encodeCmd(op byte, key, value []byte) []byte {
+	out := make([]byte, 5+len(key)+len(value))
+	out[0] = op
+	binary.LittleEndian.PutUint32(out[1:], uint32(len(key)))
+	copy(out[5:], key)
+	copy(out[5+len(key):], value)
+	return out
+}
+
+func decodeCmd(b []byte) (op byte, key, value []byte, err error) {
+	if len(b) < 5 {
+		return 0, nil, nil, errors.New("kvaof: short record")
+	}
+	klen := int(binary.LittleEndian.Uint32(b[1:]))
+	if 5+klen > len(b) {
+		return 0, nil, nil, errors.New("kvaof: bad record")
+	}
+	return b[0], b[5 : 5+klen], b[5+klen:], nil
+}
+
+// Set stores key=value durably (per the AOF commit mode). All command
+// work happens inside the single-threaded loop, Redis-style.
+func (s *Store) Set(p *sim.Proc, key, value []byte) error {
+	s.loop.Acquire(p)
+	defer s.loop.Release()
+	p.Sleep(s.cfg.WriteCPU)
+	if err := s.logCmd(p, cmdSet, key, value); err != nil {
+		return err
+	}
+	s.dict[string(key)] = append([]byte(nil), value...)
+	s.stats.Sets++
+	return nil
+}
+
+// Del removes a key durably.
+func (s *Store) Del(p *sim.Proc, key []byte) error {
+	s.loop.Acquire(p)
+	defer s.loop.Release()
+	p.Sleep(s.cfg.WriteCPU)
+	if err := s.logCmd(p, cmdDel, key, nil); err != nil {
+		return err
+	}
+	delete(s.dict, string(key))
+	s.stats.Dels++
+	return nil
+}
+
+// Get returns the value for key.
+func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, bool) {
+	s.loop.Acquire(p)
+	defer s.loop.Release()
+	p.Sleep(s.cfg.ReadCPU)
+	s.stats.Gets++
+	v, ok := s.dict[string(key)]
+	if !ok {
+		return nil, false
+	}
+	s.stats.Hits++
+	return append([]byte(nil), v...), true
+}
+
+// logCmd appends and commits one AOF record, rewriting the AOF when it
+// fills (Redis's BGREWRITEAOF, done inline: single-threaded).
+func (s *Store) logCmd(p *sim.Proc, op byte, key, value []byte) error {
+	rec := encodeCmd(op, key, value)
+	lsn, err := s.aof.Append(p, rec)
+	if errors.Is(err, wal.ErrLogFull) {
+		if err = s.rewrite(p); err != nil {
+			return err
+		}
+		lsn, err = s.aof.Append(p, rec)
+	}
+	if err != nil {
+		return err
+	}
+	return s.aof.Commit(p, lsn)
+}
+
+// rewrite compacts the AOF: truncate, then one SET per live key.
+func (s *Store) rewrite(p *sim.Proc) error {
+	if err := s.aof.Reset(p); err != nil {
+		return err
+	}
+	for k, v := range s.dict {
+		lsn, err := s.aof.Append(p, encodeCmd(cmdSet, []byte(k), v))
+		if err != nil {
+			return fmt.Errorf("kvaof: rewrite overflow: %w", err)
+		}
+		if err := s.aof.Commit(p, lsn); err != nil {
+			return err
+		}
+	}
+	s.stats.Rewrites++
+	return nil
+}
+
+// replay rebuilds the dictionary from the AOF.
+func (s *Store) replay(p *sim.Proc) error {
+	return s.aof.Recover(p, func(_ wal.LSN, payload []byte) error {
+		op, key, value, err := decodeCmd(payload)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case cmdSet:
+			s.dict[string(key)] = append([]byte(nil), value...)
+		case cmdDel:
+			delete(s.dict, string(key))
+		case cmdIncr:
+			s.applyIncr(key)
+		case cmdAppend:
+			s.applyAppend(key, value)
+		}
+		return nil
+	})
+}
+
+func (s *Store) applyIncr(key []byte) int64 {
+	n, _ := strconv.ParseInt(string(s.dict[string(key)]), 10, 64)
+	n++
+	s.dict[string(key)] = []byte(strconv.FormatInt(n, 10))
+	return n
+}
+
+func (s *Store) applyAppend(key, value []byte) int {
+	cur := s.dict[string(key)]
+	next := make([]byte, 0, len(cur)+len(value))
+	next = append(append(next, cur...), value...)
+	s.dict[string(key)] = next
+	return len(next)
+}
+
+// Incr atomically increments the integer value at key (INCR), starting
+// from 0 for a missing key, and returns the new value.
+func (s *Store) Incr(p *sim.Proc, key []byte) (int64, error) {
+	s.loop.Acquire(p)
+	defer s.loop.Release()
+	p.Sleep(s.cfg.WriteCPU)
+	if err := s.logCmd(p, cmdIncr, key, nil); err != nil {
+		return 0, err
+	}
+	s.stats.Sets++
+	return s.applyIncr(key), nil
+}
+
+// Append appends value to the string at key (APPEND) and returns the
+// new length.
+func (s *Store) Append(p *sim.Proc, key, value []byte) (int, error) {
+	s.loop.Acquire(p)
+	defer s.loop.Release()
+	p.Sleep(s.cfg.WriteCPU)
+	if err := s.logCmd(p, cmdAppend, key, value); err != nil {
+		return 0, err
+	}
+	s.stats.Sets++
+	return s.applyAppend(key, value), nil
+}
+
+// Exists reports whether key is present (EXISTS).
+func (s *Store) Exists(p *sim.Proc, key []byte) bool {
+	s.loop.Acquire(p)
+	defer s.loop.Release()
+	p.Sleep(s.cfg.ReadCPU)
+	s.stats.Gets++
+	_, ok := s.dict[string(key)]
+	return ok
+}

@@ -1,0 +1,132 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"twobssd/internal/sim"
+)
+
+// WriteBatch collects puts and deletes that commit atomically: one WAL
+// record covers the whole batch (RocksDB's WriteBatch), so either all
+// operations survive a crash or none do.
+type WriteBatch struct {
+	ops  []batchOp
+	size int
+}
+
+type batchOp struct {
+	typ   byte
+	key   []byte
+	value []byte
+}
+
+// NewWriteBatch returns an empty batch.
+func NewWriteBatch() *WriteBatch { return &WriteBatch{} }
+
+// Put stages an insert/overwrite.
+func (b *WriteBatch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{
+		typ:   recPut,
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.size += len(key) + len(value)
+}
+
+// Delete stages a deletion.
+func (b *WriteBatch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{typ: recDelete, key: append([]byte(nil), key...)})
+	b.size += len(key)
+}
+
+// Len reports the number of staged operations.
+func (b *WriteBatch) Len() int { return len(b.ops) }
+
+// encodeBatchRecord serializes a batch as one WAL payload:
+// [1]recBatch [4]count then per op: [1]typ [4]klen [4]vlen key value.
+func encodeBatchRecord(ops []batchOp) []byte {
+	size := 5
+	for _, o := range ops {
+		size += 9 + len(o.key) + len(o.value)
+	}
+	out := make([]byte, size)
+	out[0] = recBatch
+	binary.LittleEndian.PutUint32(out[1:], uint32(len(ops)))
+	pos := 5
+	for _, o := range ops {
+		out[pos] = o.typ
+		binary.LittleEndian.PutUint32(out[pos+1:], uint32(len(o.key)))
+		binary.LittleEndian.PutUint32(out[pos+5:], uint32(len(o.value)))
+		pos += 9
+		copy(out[pos:], o.key)
+		pos += len(o.key)
+		copy(out[pos:], o.value)
+		pos += len(o.value)
+	}
+	return out
+}
+
+var errBadBatch = errors.New("lsm: malformed batch record")
+
+func decodeBatchRecord(payload []byte) ([]batchOp, error) {
+	if len(payload) < 5 || payload[0] != recBatch {
+		return nil, errBadBatch
+	}
+	n := int(binary.LittleEndian.Uint32(payload[1:]))
+	pos := 5
+	ops := make([]batchOp, 0, n)
+	for i := 0; i < n; i++ {
+		if pos+9 > len(payload) {
+			return nil, errBadBatch
+		}
+		typ := payload[pos]
+		klen := int(binary.LittleEndian.Uint32(payload[pos+1:]))
+		vlen := int(binary.LittleEndian.Uint32(payload[pos+5:]))
+		pos += 9
+		if pos+klen+vlen > len(payload) {
+			return nil, errBadBatch
+		}
+		op := batchOp{typ: typ, key: append([]byte(nil), payload[pos:pos+klen]...)}
+		pos += klen
+		if vlen > 0 {
+			op.value = append([]byte(nil), payload[pos:pos+vlen]...)
+		}
+		pos += vlen
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// Write applies the batch atomically: one WAL append+commit, then the
+// memtable inserts.
+func (db *DB) Write(p *sim.Proc, b *WriteBatch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	p.Sleep(db.cfg.WriteCPU)
+	db.wlock.Acquire(p)
+	if db.mem.sizeBytes()+b.size >= db.cfg.MemtableBytes {
+		if err := db.rotate(p); err != nil {
+			db.wlock.Release()
+			return err
+		}
+	}
+	lsn, err := db.walAct.Append(p, encodeBatchRecord(b.ops))
+	if err != nil {
+		db.wlock.Release()
+		return err
+	}
+	for _, o := range b.ops {
+		db.seq++
+		if o.typ == recDelete {
+			db.mem.add(o.key, db.seq, nil)
+			db.stats.Deletes++
+		} else {
+			db.mem.add(o.key, db.seq, o.value)
+			db.stats.Puts++
+		}
+	}
+	db.wlock.Release()
+	return db.walAct.Commit(p, lsn)
+}

@@ -1,0 +1,222 @@
+package lsm
+
+import (
+	"bytes"
+
+	"twobssd/internal/sim"
+)
+
+// Iterator streams live key/value pairs in ascending key order, merged
+// across the memtables and every SST level. Block reads happen lazily
+// (charged to the process) as the iterator advances; memory use is one
+// decoded block per source.
+type Iterator struct {
+	db      *DB
+	p       *sim.Proc
+	sources []cursor
+	key     []byte
+	value   []byte
+	valid   bool
+	err     error
+	closed  bool
+}
+
+// cursor is one ordered source of (key, seq, value) versions.
+type cursor interface {
+	// peek returns the current entry; ok=false when exhausted.
+	peek() (entry, bool)
+	// advance moves past the current entry.
+	advance(p *sim.Proc) error
+}
+
+// memCursor walks a memtable from a start key.
+type memCursor struct {
+	node *memNode
+}
+
+func (c *memCursor) peek() (entry, bool) {
+	if c.node == nil {
+		return entry{}, false
+	}
+	return entry{key: c.node.key, seq: c.node.seq, value: c.node.value,
+		tombstone: c.node.value == nil}, true
+}
+
+func (c *memCursor) advance(*sim.Proc) error {
+	if c.node != nil {
+		c.node = c.node.next[0]
+	}
+	return nil
+}
+
+// tableCursor walks an SST's blocks in order, decoding lazily.
+type tableCursor struct {
+	t     *table
+	cache *blockCache
+	block []entry
+	bi    int // next block index to load
+	ei    int // position within block
+}
+
+func newTableCursor(p *sim.Proc, t *table, cache *blockCache, start []byte) (*tableCursor, error) {
+	c := &tableCursor{t: t, cache: cache}
+	bi := t.blockFor(start)
+	if bi < 0 {
+		bi = 0
+	}
+	c.bi = bi
+	if err := c.load(p); err != nil {
+		return nil, err
+	}
+	// Skip entries below start.
+	for {
+		e, ok := c.peek()
+		if !ok || bytes.Compare(e.key, start) >= 0 {
+			break
+		}
+		if err := c.advance(p); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// load decodes block bi (if any) and resets the entry position.
+func (c *tableCursor) load(p *sim.Proc) error {
+	for c.bi < len(c.t.index) {
+		ents, err := c.t.readBlock(p, c.cache, c.bi)
+		if err != nil {
+			return err
+		}
+		c.bi++
+		if len(ents) > 0 {
+			c.block = ents
+			c.ei = 0
+			return nil
+		}
+	}
+	c.block = nil
+	return nil
+}
+
+func (c *tableCursor) peek() (entry, bool) {
+	if c.block == nil || c.ei >= len(c.block) {
+		return entry{}, false
+	}
+	return c.block[c.ei], true
+}
+
+func (c *tableCursor) advance(p *sim.Proc) error {
+	c.ei++
+	if c.ei >= len(c.block) {
+		return c.load(p)
+	}
+	return nil
+}
+
+// NewIterator opens an iterator positioned at the first live key >=
+// start. Close it to release the read epoch (obsolete SSTs are
+// reclaimed only when no iterator or reader is active).
+func (db *DB) NewIterator(p *sim.Proc, start []byte) (*Iterator, error) {
+	p.Sleep(db.cfg.ReadCPU)
+	db.beginRead()
+	it := &Iterator{db: db, p: p}
+	it.sources = append(it.sources, &memCursor{node: db.mem.seek(start, ^uint64(0))})
+	if db.imm != nil {
+		it.sources = append(it.sources, &memCursor{node: db.imm.seek(start, ^uint64(0))})
+	}
+	for _, level := range db.snapshotLevels() {
+		for _, t := range level {
+			if t.last != nil && bytes.Compare(t.last, start) < 0 {
+				continue
+			}
+			tc, err := newTableCursor(p, t, db.cache, start)
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			it.sources = append(it.sources, tc)
+		}
+	}
+	it.step()
+	return it, nil
+}
+
+// step advances to the next live (non-tombstone) key.
+func (it *Iterator) step() {
+	for {
+		// Find the smallest key among sources; among equal keys the
+		// highest seq wins.
+		var best entry
+		bestIdx := -1
+		for i, src := range it.sources {
+			e, ok := src.peek()
+			if !ok {
+				continue
+			}
+			if bestIdx < 0 {
+				best, bestIdx = e, i
+				continue
+			}
+			c := bytes.Compare(e.key, best.key)
+			if c < 0 || (c == 0 && e.seq > best.seq) {
+				best, bestIdx = e, i
+			}
+		}
+		if bestIdx < 0 {
+			it.valid = false
+			return
+		}
+		// Consume every version of this key from all sources.
+		for _, src := range it.sources {
+			for {
+				e, ok := src.peek()
+				if !ok || !bytes.Equal(e.key, best.key) {
+					break
+				}
+				if err := src.advance(it.p); err != nil {
+					it.err = err
+					it.valid = false
+					return
+				}
+			}
+		}
+		if best.tombstone {
+			continue // deleted: move on
+		}
+		it.key = append(it.key[:0], best.key...)
+		it.value = append(it.value[:0], best.value...)
+		it.valid = true
+		return
+	}
+}
+
+// Valid reports whether the iterator is positioned on a live entry.
+func (it *Iterator) Valid() bool { return it.valid && it.err == nil }
+
+// Key returns the current key (valid until Next).
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value (valid until Next).
+func (it *Iterator) Value() []byte { return it.value }
+
+// Err returns the first error the iterator hit.
+func (it *Iterator) Err() error { return it.err }
+
+// Next advances to the following live key.
+func (it *Iterator) Next() {
+	if !it.valid {
+		return
+	}
+	it.step()
+}
+
+// Close releases the iterator's read epoch. Safe to call twice.
+func (it *Iterator) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	it.valid = false
+	it.db.endRead(it.p)
+}

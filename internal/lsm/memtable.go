@@ -1,0 +1,131 @@
+// Package lsm is an embedded log-structured merge-tree key-value store
+// in the mold of RocksDB 5.x: a skiplist memtable pair (active +
+// immutable) with a write-ahead log each, sorted-string-table (SST)
+// files with block indexes and bloom filters, leveled compaction and a
+// block cache.
+//
+// It is the NoSQL engine of the paper's case study (Section IV-B):
+// BA-WAL replaces its log-file append path, exactly where the paper
+// overrode RocksDB's WritableFile.
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const maxHeight = 12
+
+type memNode struct {
+	key   []byte
+	seq   uint64
+	value []byte // nil means tombstone
+	next  [maxHeight]*memNode
+}
+
+// memtable is a skiplist ordered by (key asc, seq desc) so the newest
+// version of a key is encountered first.
+type memtable struct {
+	head   *memNode
+	height int
+	rng    *rand.Rand
+	bytes  int
+	count  int
+}
+
+func newMemtable(seed int64) *memtable {
+	return &memtable{
+		head:   &memNode{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// compare orders by key ascending, then seq descending (newer first).
+func compareEntries(aKey []byte, aSeq uint64, bKey []byte, bSeq uint64) int {
+	if c := bytes.Compare(aKey, bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aSeq > bSeq:
+		return -1
+	case aSeq < bSeq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (m *memtable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// add inserts one version. value nil records a tombstone.
+func (m *memtable) add(key []byte, seq uint64, value []byte) {
+	var prev [maxHeight]*memNode
+	x := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && compareEntries(x.next[lvl].key, x.next[lvl].seq, key, seq) < 0 {
+			x = x.next[lvl]
+		}
+		prev[lvl] = x
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for lvl := m.height; lvl < h; lvl++ {
+			prev[lvl] = m.head
+		}
+		m.height = h
+	}
+	n := &memNode{key: append([]byte(nil), key...), seq: seq, value: value}
+	if value != nil {
+		n.value = append([]byte(nil), value...)
+	}
+	for lvl := 0; lvl < h; lvl++ {
+		n.next[lvl] = prev[lvl].next[lvl]
+		prev[lvl].next[lvl] = n
+	}
+	m.bytes += len(key) + len(value) + 32
+	m.count++
+}
+
+// get returns the newest version of key at or below maxSeq.
+// found=false means the memtable has no version; found=true with
+// value=nil means the key was deleted.
+func (m *memtable) get(key []byte, maxSeq uint64) (value []byte, found bool) {
+	x := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && compareEntries(x.next[lvl].key, x.next[lvl].seq, key, maxSeq) < 0 {
+			x = x.next[lvl]
+		}
+	}
+	n := x.next[0]
+	if n == nil || !bytes.Equal(n.key, key) {
+		return nil, false
+	}
+	return n.value, true
+}
+
+// first returns the first node (ordered iteration entry point).
+func (m *memtable) first() *memNode { return m.head.next[0] }
+
+// seek returns the first node with (key,seq) >= (key, maxSeq).
+func (m *memtable) seek(key []byte, maxSeq uint64) *memNode {
+	x := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && compareEntries(x.next[lvl].key, x.next[lvl].seq, key, maxSeq) < 0 {
+			x = x.next[lvl]
+		}
+	}
+	return x.next[0]
+}
+
+// sizeBytes approximates memory use (flush trigger).
+func (m *memtable) sizeBytes() int { return m.bytes }
+
+// len returns the number of stored versions.
+func (m *memtable) len() int { return m.count }

@@ -1,0 +1,283 @@
+// Package nand models a NAND flash subsystem: channels, dies, blocks
+// and pages with realistic timing (tR, tPROG, tERASE, channel transfer)
+// and the physical constraints that shape every SSD design —
+// erase-before-program, strictly sequential page programming within a
+// block, and limited erase endurance.
+//
+// Pages carry real bytes (sparsely stored), so layers above can verify
+// data integrity end to end, and all latency is charged on the sim
+// clock: a die is a capacity-1 resource held for the array-operation
+// time, a channel is a capacity-1 resource held for the transfer time.
+package nand
+
+import (
+	"errors"
+	"fmt"
+
+	"twobssd/internal/sim"
+)
+
+// PPA is a physical page address: a dense index over every page in the
+// flash array. See Config.PPA for the layout.
+type PPA uint64
+
+// BlockID is a dense index over every block in the flash array.
+type BlockID uint32
+
+// Config describes the geometry and timing of a flash subsystem.
+type Config struct {
+	Channels       int // independent I/O buses
+	DiesPerChannel int // dies sharing one channel
+	BlocksPerDie   int
+	PagesPerBlock  int
+	PageSize       int // bytes
+
+	ReadLatency    sim.Duration // tR: array read into page register
+	ProgramLatency sim.Duration // tPROG: page register into array
+	EraseLatency   sim.Duration // tERASE: whole block
+
+	ChannelMBps int // channel transfer rate, MB/s
+
+	EnduranceCycles int // erases before a block goes bad (0 = unlimited)
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return errors.New("nand: Channels must be > 0")
+	case c.DiesPerChannel <= 0:
+		return errors.New("nand: DiesPerChannel must be > 0")
+	case c.BlocksPerDie <= 0:
+		return errors.New("nand: BlocksPerDie must be > 0")
+	case c.PagesPerBlock <= 0:
+		return errors.New("nand: PagesPerBlock must be > 0")
+	case c.PageSize <= 0:
+		return errors.New("nand: PageSize must be > 0")
+	case c.ChannelMBps <= 0:
+		return errors.New("nand: ChannelMBps must be > 0")
+	case c.ReadLatency < 0 || c.ProgramLatency < 0 || c.EraseLatency < 0:
+		return errors.New("nand: latencies must be >= 0")
+	}
+	return nil
+}
+
+// Dies returns the total die count.
+func (c Config) Dies() int { return c.Channels * c.DiesPerChannel }
+
+// Blocks returns the total block count.
+func (c Config) Blocks() int { return c.Dies() * c.BlocksPerDie }
+
+// Pages returns the total page count.
+func (c Config) Pages() int { return c.Blocks() * c.PagesPerBlock }
+
+// CapacityBytes returns the raw capacity.
+func (c Config) CapacityBytes() int64 {
+	return int64(c.Pages()) * int64(c.PageSize)
+}
+
+// TransferTime returns the channel transfer time for n bytes.
+func (c Config) TransferTime(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	// MB/s == bytes/µs: t_ns = n * 1000 / MBps.
+	return sim.Duration(int64(n) * 1000 / int64(c.ChannelMBps))
+}
+
+// PPAOf composes a physical page address.
+func (c Config) PPAOf(die, block, page int) PPA {
+	return PPA((int64(die)*int64(c.BlocksPerDie)+int64(block))*int64(c.PagesPerBlock) + int64(page))
+}
+
+// Decompose splits a PPA into die, block-within-die and page indices.
+func (c Config) Decompose(ppa PPA) (die, block, page int) {
+	page = int(uint64(ppa) % uint64(c.PagesPerBlock))
+	b := uint64(ppa) / uint64(c.PagesPerBlock)
+	block = int(b % uint64(c.BlocksPerDie))
+	die = int(b / uint64(c.BlocksPerDie))
+	return
+}
+
+// BlockOf returns the dense block index containing ppa.
+func (c Config) BlockOf(ppa PPA) BlockID {
+	return BlockID(uint64(ppa) / uint64(c.PagesPerBlock))
+}
+
+// DieOf returns the die index of a PPA.
+func (c Config) DieOf(ppa PPA) int {
+	die, _, _ := c.Decompose(ppa)
+	return die
+}
+
+// ChannelOf returns the channel a die is attached to (dies are
+// interleaved across channels: die d sits on channel d mod Channels).
+func (c Config) ChannelOf(die int) int { return die % c.Channels }
+
+// Error values reported by flash operations.
+var (
+	ErrBadBlock     = errors.New("nand: block is bad")
+	ErrNotErased    = errors.New("nand: program to unerased or out-of-order page")
+	ErrOutOfRange   = errors.New("nand: address out of range")
+	ErrWornOut      = errors.New("nand: block exceeded endurance")
+	ErrPageTooLarge = errors.New("nand: data larger than page")
+)
+
+type blockState struct {
+	nextPage   int // next programmable page (sequential-program rule)
+	eraseCount int
+	bad        bool
+}
+
+// Stats aggregates operation counters for the flash array.
+type Stats struct {
+	PageReads    uint64
+	PagePrograms uint64
+	BlockErases  uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Flash is a simulated NAND array bound to a sim.Env.
+type Flash struct {
+	env      *sim.Env
+	cfg      Config
+	channels []*sim.Resource
+	dies     []*sim.Resource
+	blocks   []blockState
+	data     map[PPA][]byte
+	stats    Stats
+}
+
+// New creates a flash array. It panics on an invalid configuration
+// (construction-time misuse, not a runtime condition).
+func New(env *sim.Env, cfg Config) *Flash {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	f := &Flash{
+		env:    env,
+		cfg:    cfg,
+		blocks: make([]blockState, cfg.Blocks()),
+		data:   make(map[PPA][]byte),
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		f.channels = append(f.channels, env.NewResource(fmt.Sprintf("nand.ch%d", i), 1))
+	}
+	for i := 0; i < cfg.Dies(); i++ {
+		f.dies = append(f.dies, env.NewResource(fmt.Sprintf("nand.die%d", i), 1))
+	}
+	return f
+}
+
+// Config returns the geometry/timing configuration.
+func (f *Flash) Config() Config { return f.cfg }
+
+// Stats returns a copy of the operation counters.
+func (f *Flash) Stats() Stats { return f.stats }
+
+func (f *Flash) checkPPA(ppa PPA) error {
+	if uint64(ppa) >= uint64(f.cfg.Pages()) {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// ReadPage performs an array read of one page and transfers it over the
+// die's channel. The returned slice is a copy; never-written pages read
+// back as zeroes (an erased page).
+func (f *Flash) ReadPage(p *sim.Proc, ppa PPA) ([]byte, error) {
+	if err := f.checkPPA(ppa); err != nil {
+		return nil, err
+	}
+	die := f.cfg.DieOf(ppa)
+	ch := f.cfg.ChannelOf(die)
+	f.dies[die].Use(p, f.cfg.ReadLatency)
+	f.channels[ch].Use(p, f.cfg.TransferTime(f.cfg.PageSize))
+	f.stats.PageReads++
+	f.stats.BytesRead += uint64(f.cfg.PageSize)
+	out := make([]byte, f.cfg.PageSize)
+	copy(out, f.data[ppa])
+	return out, nil
+}
+
+// ProgramPage transfers data over the channel and programs one page.
+// Data shorter than a page is zero-padded. Programming must follow the
+// block's sequential-page order on an erased block.
+func (f *Flash) ProgramPage(p *sim.Proc, ppa PPA, data []byte) error {
+	if err := f.checkPPA(ppa); err != nil {
+		return err
+	}
+	if len(data) > f.cfg.PageSize {
+		return ErrPageTooLarge
+	}
+	die, _, page := f.cfg.Decompose(ppa)
+	blk := &f.blocks[f.cfg.BlockOf(ppa)]
+	if blk.bad {
+		return ErrBadBlock
+	}
+	if page != blk.nextPage {
+		return fmt.Errorf("%w: block %d page %d (next programmable %d)",
+			ErrNotErased, f.cfg.BlockOf(ppa), page, blk.nextPage)
+	}
+	ch := f.cfg.ChannelOf(die)
+	f.channels[ch].Use(p, f.cfg.TransferTime(f.cfg.PageSize))
+	f.dies[die].Use(p, f.cfg.ProgramLatency)
+	blk.nextPage++
+	stored := make([]byte, f.cfg.PageSize)
+	copy(stored, data)
+	f.data[ppa] = stored
+	f.stats.PagePrograms++
+	f.stats.BytesWritten += uint64(f.cfg.PageSize)
+	return nil
+}
+
+// EraseBlock erases a whole block, making its pages programmable again.
+// When the block's erase count passes the configured endurance the
+// block is retired and ErrWornOut is returned.
+func (f *Flash) EraseBlock(p *sim.Proc, blk BlockID) error {
+	if uint64(blk) >= uint64(f.cfg.Blocks()) {
+		return ErrOutOfRange
+	}
+	bs := &f.blocks[blk]
+	if bs.bad {
+		return ErrBadBlock
+	}
+	die := int(uint64(blk) / uint64(f.cfg.BlocksPerDie))
+	f.dies[die].Use(p, f.cfg.EraseLatency)
+	bs.eraseCount++
+	bs.nextPage = 0
+	f.stats.BlockErases++
+	base := PPA(uint64(blk) * uint64(f.cfg.PagesPerBlock))
+	for i := 0; i < f.cfg.PagesPerBlock; i++ {
+		delete(f.data, base+PPA(i))
+	}
+	if f.cfg.EnduranceCycles > 0 && bs.eraseCount >= f.cfg.EnduranceCycles {
+		bs.bad = true
+		return ErrWornOut
+	}
+	return nil
+}
+
+// MarkBad retires a block (failure injection for tests).
+func (f *Flash) MarkBad(blk BlockID) {
+	f.blocks[blk].bad = true
+}
+
+// IsBad reports whether a block has been retired.
+func (f *Flash) IsBad(blk BlockID) bool { return f.blocks[blk].bad }
+
+// EraseCount reports a block's erase cycles.
+func (f *Flash) EraseCount(blk BlockID) int { return f.blocks[blk].eraseCount }
+
+// NextPage reports the next programmable page index of a block.
+func (f *Flash) NextPage(blk BlockID) int { return f.blocks[blk].nextPage }
+
+// PeekPage returns the stored contents of a page without timing or
+// counters — a debugging/verification hook for tests and recovery
+// assertions, not a datapath.
+func (f *Flash) PeekPage(ppa PPA) []byte {
+	out := make([]byte, f.cfg.PageSize)
+	copy(out, f.data[ppa])
+	return out
+}

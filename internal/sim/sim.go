@@ -1,0 +1,466 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every latency in the repository — NAND array operations, PCIe
+// transactions, firmware work, database CPU costs — is expressed in
+// virtual nanoseconds on a sim.Env. Processes (Proc) are goroutines that
+// cooperate with the scheduler: exactly one process runs at a time, so
+// simulation state needs no locking and every run is exactly
+// reproducible on any machine.
+//
+// The kernel offers the three primitives the device and database models
+// are built from:
+//
+//   - Proc.Sleep: advance virtual time for this process.
+//   - Resource:   a counted resource with a FIFO wait queue (dies,
+//     channels, mutexes are Resources of capacity 1..n).
+//   - Signal:     a broadcast condition processes can park on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenience duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000
+	Millisecond Duration = 1000 * 1000
+	Second      Duration = 1000 * 1000 * 1000
+)
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros reports the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, start processes with Go, then call Run.
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	parked chan parkMsg
+	// blocked tracks processes parked on a Resource or Signal (no
+	// scheduled event); used for deadlock diagnosis.
+	blocked map[*Proc]string
+	nlive   int
+	running bool
+}
+
+type parkMsg struct {
+	exited *Proc // non-nil when the process function returned
+	fault  interface{}
+}
+
+// NewEnv returns an environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		parked:  make(chan parkMsg),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Proc is a simulation process. A Proc must only be used from the
+// goroutine running its body function.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	daemon bool
+}
+
+// Env returns the environment this process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Go starts a new process. The body runs when the scheduler first
+// reaches it; the initial resume is scheduled at the current time.
+// Go may be called before Run or from inside a running process.
+func (e *Env) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nlive++
+	go func() {
+		<-p.resume
+		defer func() {
+			r := recover()
+			e.parked <- parkMsg{exited: p, fault: r}
+		}()
+		body(p)
+	}()
+	e.schedule(p, e.now)
+	return p
+}
+
+// GoDaemon starts a background service process. A daemon parked on a
+// Resource or Signal does not count as a deadlock: Run returns normally
+// when only daemons remain blocked (e.g. an idle device write-buffer
+// drainer waiting for work).
+func (e *Env) GoDaemon(name string, body func(p *Proc)) *Proc {
+	p := e.Go(name, body)
+	p.daemon = true
+	return p
+}
+
+// GoAt is like Go but delays the process start until t.
+func (e *Env) GoAt(t Time, name string, body func(p *Proc)) *Proc {
+	if t < e.now {
+		t = e.now
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nlive++
+	go func() {
+		<-p.resume
+		defer func() {
+			r := recover()
+			e.parked <- parkMsg{exited: p, fault: r}
+		}()
+		body(p)
+	}()
+	e.schedule(p, t)
+	return p
+}
+
+func (e *Env) schedule(p *Proc, at Time) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// Run executes events until the queue drains and all processes have
+// exited or are blocked forever. It panics (with a diagnostic listing)
+// if live processes remain blocked with no pending events — a deadlock
+// in the modeled system.
+func (e *Env) Run() {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.proc.resume <- struct{}{}
+		msg := <-e.parked
+		if msg.exited != nil {
+			e.nlive--
+			if msg.fault != nil {
+				panic(fmt.Sprintf("sim: process %q faulted: %v", msg.exited.name, msg.fault))
+			}
+		}
+	}
+	if e.nlive > 0 {
+		names := make([]string, 0, len(e.blocked))
+		stuck := false
+		for p, what := range e.blocked {
+			if !p.daemon {
+				stuck = true
+			}
+			names = append(names, p.name+" ("+what+")")
+		}
+		if stuck {
+			sort.Strings(names)
+			panic("sim: deadlock, blocked processes: " + strings.Join(names, ", "))
+		}
+	}
+}
+
+// park yields control to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	p.env.parked <- parkMsg{}
+	<-p.resume
+}
+
+// Sleep advances this process by d virtual nanoseconds. Negative
+// durations sleep zero time (still yielding to simultaneous events).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p, p.env.now+Time(d))
+	p.park()
+}
+
+// Yield lets any other event scheduled for the current instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// block parks the process with no scheduled event; some other process
+// must unblock it. what describes the wait for deadlock diagnostics.
+func (p *Proc) block(what string) {
+	p.env.blocked[p] = what
+	p.park()
+	delete(p.env.blocked, p)
+}
+
+// unblock schedules a blocked process to resume at the current instant.
+func (e *Env) unblock(p *Proc) { e.schedule(p, e.now) }
+
+// Resource is a counted resource with a FIFO wait queue. A Resource of
+// capacity 1 is a virtual mutex; a NAND die or a PCIe link is a
+// Resource of capacity 1 whose hold duration is the service time.
+type Resource struct {
+	env     *Env
+	name    string
+	cap     int
+	inUse   int
+	waiters []*Proc
+
+	// Stats
+	acquires  uint64
+	waited    uint64
+	waitTotal Duration
+	busyTotal Duration
+	lastBusy  Time
+}
+
+// NewResource creates a resource with the given capacity (≥ 1).
+func (e *Env) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: e, name: name, cap: capacity}
+}
+
+// Acquire obtains one unit, waiting FIFO if none is free.
+func (r *Resource) Acquire(p *Proc) {
+	r.acquires++
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.grab()
+		return
+	}
+	start := r.env.now
+	r.waiters = append(r.waiters, p)
+	p.block("resource " + r.name)
+	// Our unit was reserved for us by Release before unblocking.
+	r.waited++
+	r.waitTotal += Duration(r.env.now - start)
+}
+
+func (r *Resource) grab() {
+	if r.inUse == 0 {
+		r.lastBusy = r.env.now
+	}
+	r.inUse++
+}
+
+// TryAcquire obtains a unit only if one is immediately free.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.grab()
+		return true
+	}
+	return false
+}
+
+// Release returns one unit and wakes the head waiter, if any. The unit
+// is handed directly to the waiter so FIFO order is preserved even
+// against late TryAcquire callers.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		// Hand off: usage count stays the same, ownership moves.
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.env.unblock(w)
+		return
+	}
+	r.inUse--
+	if r.inUse == 0 {
+		r.busyTotal += Duration(r.env.now - r.lastBusy)
+	}
+}
+
+// Use holds one unit for d virtual time: Acquire, Sleep, Release.
+// It returns the total time including queueing delay.
+func (r *Resource) Use(p *Proc, d Duration) Duration {
+	start := r.env.now
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+	return Duration(r.env.now - start)
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Stats reports acquisition counters for the resource.
+func (r *Resource) Stats() (acquires, waited uint64, waitTotal, busyTotal Duration) {
+	return r.acquires, r.waited, r.waitTotal, r.busyTotal
+}
+
+// Signal is a broadcast condition. Waiters park until Fire; Fire wakes
+// every current waiter at the current instant. A Signal may be fired
+// repeatedly; waiters registered after a Fire wait for the next one.
+type Signal struct {
+	env     *Env
+	name    string
+	waiters []*Proc
+	fires   uint64
+}
+
+// NewSignal creates a named signal.
+func (e *Env) NewSignal(name string) *Signal {
+	return &Signal{env: e, name: name}
+}
+
+// Wait parks until the next Fire.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.block("signal " + s.name)
+}
+
+// Fire wakes all current waiters. It is safe to call with no waiters.
+func (s *Signal) Fire() {
+	s.fires++
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		s.env.unblock(w)
+	}
+}
+
+// Fires reports how many times the signal fired.
+func (s *Signal) Fires() uint64 { return s.fires }
+
+// Waiters reports the number of parked processes.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// WaitGroup counts outstanding work across processes, like sync.WaitGroup
+// but in virtual time.
+type WaitGroup struct {
+	env  *Env
+	n    int
+	done *Signal
+}
+
+// NewWaitGroup creates an empty wait group.
+func (e *Env) NewWaitGroup(name string) *WaitGroup {
+	return &WaitGroup{env: e, done: e.NewSignal(name + ".done")}
+}
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.done.Fire()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait parks until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.done.Wait(p)
+	}
+}
+
+// Queue is an unbounded FIFO of items passed between processes, the
+// virtual-time analogue of a Go channel with an infinite buffer.
+type Queue struct {
+	env    *Env
+	name   string
+	items  []interface{}
+	avail  *Signal
+	closed bool
+}
+
+// NewQueue creates a named queue.
+func (e *Env) NewQueue(name string) *Queue {
+	return &Queue{env: e, name: name, avail: e.NewSignal(name + ".avail")}
+}
+
+// Put appends an item and wakes any waiting receivers.
+func (q *Queue) Put(item interface{}) {
+	if q.closed {
+		panic("sim: Put on closed queue " + q.name)
+	}
+	q.items = append(q.items, item)
+	q.avail.Fire()
+}
+
+// Close marks the queue closed; Get returns ok=false once drained.
+func (q *Queue) Close() {
+	q.closed = true
+	q.avail.Fire()
+}
+
+// Get removes the head item, parking until one is available or the
+// queue is closed and drained.
+func (q *Queue) Get(p *Proc) (interface{}, bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.avail.Wait(p)
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }

@@ -1,0 +1,421 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEnv()
+	var at1, at2 Time
+	e.Go("a", func(p *Proc) {
+		p.Sleep(100)
+		at1 = e.Now()
+		p.Sleep(250)
+		at2 = e.Now()
+	})
+	e.Run()
+	if at1 != 100 || at2 != 350 {
+		t.Fatalf("got %d,%d want 100,350", at1, at2)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEnv()
+	e.Go("a", func(p *Proc) {
+		p.Sleep(-5)
+		if e.Now() != 0 {
+			t.Errorf("negative sleep moved clock to %d", e.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestFIFOAmongSimultaneousEvents(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	for _, n := range []string{"a", "b", "c"} {
+		n := n
+		e.Go(n, func(p *Proc) {
+			p.Sleep(10)
+			order = append(order, n)
+		})
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestGoAtDelaysStart(t *testing.T) {
+	e := NewEnv()
+	var started Time
+	e.GoAt(500, "late", func(p *Proc) { started = e.Now() })
+	e.Run()
+	if started != 500 {
+		t.Fatalf("started at %d, want 500", started)
+	}
+}
+
+func TestGoFromInsideProcess(t *testing.T) {
+	e := NewEnv()
+	var childAt Time
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(42)
+		e.Go("child", func(c *Proc) {
+			c.Sleep(8)
+			childAt = e.Now()
+		})
+	})
+	e.Run()
+	if childAt != 50 {
+		t.Fatalf("child finished at %d, want 50", childAt)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("mtx", 1)
+	var maxConcurrent, cur int
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Proc) {
+			r.Acquire(p)
+			cur++
+			if cur > maxConcurrent {
+				maxConcurrent = cur
+			}
+			p.Sleep(10)
+			cur--
+			r.Release()
+		})
+	}
+	e.Run()
+	if maxConcurrent != 1 {
+		t.Fatalf("max concurrency = %d, want 1", maxConcurrent)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("serialized 5x10ns should end at 50, got %d", e.Now())
+	}
+}
+
+func TestResourceCapacityN(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("pool", 3)
+	e.Go("driver", func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			e.Go("w", func(w *Proc) { r.Use(w, 100) })
+		}
+	})
+	e.Run()
+	// 6 jobs of 100ns on 3 servers => 200ns.
+	if e.Now() != 200 {
+		t.Fatalf("end = %d, want 200", e.Now())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.GoAt(Time(i), "w", func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(100)
+			r.Release()
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 1)
+	var got, gotWhileBusy bool
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(100)
+		r.Release()
+	})
+	e.GoAt(50, "trier", func(p *Proc) {
+		gotWhileBusy = r.TryAcquire()
+		p.Sleep(100) // now t=150, resource free
+		got = r.TryAcquire()
+		if got {
+			r.Release()
+		}
+	})
+	e.Run()
+	if gotWhileBusy {
+		t.Error("TryAcquire succeeded while busy")
+	}
+	if !got {
+		t.Error("TryAcquire failed while free")
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := NewEnv()
+	r := e.NewResource("r", 1)
+	e.Go("bad", func(p *Proc) { r.Release() })
+	e.Run()
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEnv()
+	s := e.NewSignal("s")
+	woke := 0
+	for i := 0; i < 3; i++ {
+		e.Go("waiter", func(p *Proc) {
+			s.Wait(p)
+			woke++
+		})
+	}
+	e.GoAt(100, "firer", func(p *Proc) { s.Fire() })
+	e.Run()
+	if woke != 3 {
+		t.Fatalf("woke %d, want 3", woke)
+	}
+	if s.Fires() != 1 {
+		t.Fatalf("fires = %d, want 1", s.Fires())
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEnv()
+	wg := e.NewWaitGroup("wg")
+	var doneAt Time
+	wg.Add(3)
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(Duration(i * 100))
+			wg.Done()
+		})
+	}
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = e.Now()
+	})
+	e.Run()
+	if doneAt != 300 {
+		t.Fatalf("waiter resumed at %d, want 300", doneAt)
+	}
+}
+
+func TestQueueProducerConsumer(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	var got []int
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(10)
+			q.Put(i)
+		}
+		q.Close()
+	})
+	e.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want 0..4 in order", got)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEnv()
+	s := e.NewSignal("never")
+	e.Go("stuck", func(p *Proc) { s.Wait(p) })
+	e.Run()
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from process fault")
+		}
+	}()
+	e := NewEnv()
+	e.Go("boom", func(p *Proc) { panic("boom") })
+	e.Run()
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 1)
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) { r.Use(p, 100) })
+	}
+	e.Run()
+	acq, waited, waitTotal, busy := r.Stats()
+	if acq != 3 {
+		t.Errorf("acquires = %d, want 3", acq)
+	}
+	if waited != 2 {
+		t.Errorf("waited = %d, want 2", waited)
+	}
+	if waitTotal != 100+200 {
+		t.Errorf("waitTotal = %d, want 300", waitTotal)
+	}
+	if busy != 300 {
+		t.Errorf("busyTotal = %d, want 300", busy)
+	}
+}
+
+// Property: for any set of jobs on a capacity-1 resource, the end time
+// equals the sum of service times (perfect serialization), and FIFO
+// waiting times are consistent.
+func TestPropertySerializationTime(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 || len(durs) > 64 {
+			return true
+		}
+		e := NewEnv()
+		r := e.NewResource("r", 1)
+		var sum Duration
+		for _, d := range durs {
+			d := Duration(d)
+			sum += d
+			e.Go("w", func(p *Proc) { r.Use(p, d) })
+		}
+		e.Run()
+		return e.Now() == Time(sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sleeps on independent processes never interfere — the final
+// clock is the max individual finish time.
+func TestPropertyIndependentSleeps(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 || len(durs) > 64 {
+			return true
+		}
+		e := NewEnv()
+		var max Duration
+		for _, d := range durs {
+			d := Duration(d)
+			if d > max {
+				max = d
+			}
+			e.Go("w", func(p *Proc) { p.Sleep(d) })
+		}
+		e.Run()
+		return e.Now() == Time(max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonDoesNotDeadlock(t *testing.T) {
+	// A daemon parked on a signal forever must not trip the deadlock
+	// detector once all regular processes finish.
+	e := NewEnv()
+	s := e.NewSignal("work")
+	e.GoDaemon("worker", func(p *Proc) {
+		for {
+			s.Wait(p)
+		}
+	})
+	e.Go("main", func(p *Proc) { p.Sleep(100) })
+	e.Run() // must return, not panic
+	if e.Now() != 100 {
+		t.Fatalf("clock = %d", e.Now())
+	}
+}
+
+func TestDaemonStillCountsWhenRegularBlocked(t *testing.T) {
+	// A blocked NON-daemon still panics even when daemons are around.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEnv()
+	s := e.NewSignal("never")
+	e.GoDaemon("d", func(p *Proc) { s.Wait(p) })
+	e.Go("stuck", func(p *Proc) { s.Wait(p) })
+	e.Run()
+}
+
+func TestRunResumableAfterDrain(t *testing.T) {
+	// Run, then schedule more work, then Run again: the env keeps the
+	// clock and continues (used throughout the bench harness).
+	e := NewEnv()
+	e.Go("a", func(p *Proc) { p.Sleep(50) })
+	e.Run()
+	if e.Now() != 50 {
+		t.Fatalf("clock = %d", e.Now())
+	}
+	e.Go("b", func(p *Proc) { p.Sleep(25) })
+	e.Run()
+	if e.Now() != 75 {
+		t.Fatalf("clock after resume = %d", e.Now())
+	}
+}
+
+func TestQueueCloseUnblocksReceivers(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	done := 0
+	for i := 0; i < 3; i++ {
+		e.Go("recv", func(p *Proc) {
+			if _, ok := q.Get(p); !ok {
+				done++
+			}
+		})
+	}
+	e.GoAt(10, "closer", func(p *Proc) { q.Close() })
+	e.Run()
+	if done != 3 {
+		t.Fatalf("unblocked %d receivers, want 3", done)
+	}
+}

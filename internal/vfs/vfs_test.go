@@ -1,0 +1,273 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"twobssd/internal/device"
+	"twobssd/internal/ftl"
+	"twobssd/internal/sim"
+)
+
+func newFS(e *sim.Env) *FS {
+	p := device.ULLSSD()
+	p.Nand.Channels = 2
+	p.Nand.DiesPerChannel = 2
+	p.Nand.BlocksPerDie = 16
+	p.Nand.PagesPerBlock = 16
+	p.FTL.OverProvision = 0.25
+	p.WriteBufferPages = 32
+	p.DrainWorkers = 4
+	return New(device.New(e, p))
+}
+
+func TestCreateOpenRemove(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	f, err := fs.Create("wal.log", 64*1024)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if f.Capacity() != 64*1024 {
+		t.Fatalf("capacity = %d", f.Capacity())
+	}
+	if !fs.Exists("wal.log") {
+		t.Fatal("file missing")
+	}
+	if _, err := fs.Create("wal.log", 1024); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+	got, err := fs.Open("wal.log")
+	if err != nil || got != f {
+		t.Fatalf("open: %v", err)
+	}
+	if err := fs.Remove("wal.log"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := fs.Open("wal.log"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("open removed err = %v", err)
+	}
+	if err := fs.Remove("wal.log"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove err = %v", err)
+	}
+}
+
+func TestCapacityRoundsToPages(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	f, err := fs.Create("x", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Capacity() != int64(fs.PageSize()) {
+		t.Fatalf("capacity = %d, want one page", f.Capacity())
+	}
+}
+
+func TestWriteReadAlignedAndUnaligned(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	f, _ := fs.Create("f", 64*1024)
+	e.Go("t", func(p *sim.Proc) {
+		// Unaligned write crossing a page boundary.
+		data := bytes.Repeat([]byte{0xAB}, 6000)
+		if err := f.WriteAt(p, 1000, data); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got := make([]byte, 6000)
+		if err := f.ReadAt(p, 1000, got); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("unaligned round trip failed")
+		}
+		// RMW preserved the untouched prefix.
+		head := make([]byte, 1000)
+		f.ReadAt(p, 0, head)
+		for _, b := range head {
+			if b != 0 {
+				t.Fatal("RMW corrupted prefix")
+			}
+		}
+		// Aligned fast path.
+		aligned := bytes.Repeat([]byte{0x33}, 2*fs.PageSize())
+		if err := f.WriteAt(p, int64(8*fs.PageSize()), aligned); err != nil {
+			t.Fatalf("aligned write: %v", err)
+		}
+		got2 := make([]byte, len(aligned))
+		f.ReadAt(p, int64(8*fs.PageSize()), got2)
+		if !bytes.Equal(got2, aligned) {
+			t.Fatal("aligned round trip failed")
+		}
+	})
+	e.Run()
+}
+
+func TestSizeHighWaterMark(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	f, _ := fs.Create("f", 64*1024)
+	e.Go("t", func(p *sim.Proc) {
+		f.WriteAt(p, 100, []byte("abc"))
+		if f.Size() != 103 {
+			t.Errorf("size = %d", f.Size())
+		}
+		f.WriteAt(p, 0, []byte("x"))
+		if f.Size() != 103 {
+			t.Errorf("size shrank: %d", f.Size())
+		}
+	})
+	e.Run()
+}
+
+func TestBoundsChecks(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	f, _ := fs.Create("f", 8192)
+	e.Go("t", func(p *sim.Proc) {
+		if err := f.WriteAt(p, 8190, []byte("abc")); !errors.Is(err, ErrPastEnd) {
+			t.Errorf("past-end write err = %v", err)
+		}
+		if err := f.ReadAt(p, -1, make([]byte, 1)); !errors.Is(err, ErrBadLength) {
+			t.Errorf("negative offset err = %v", err)
+		}
+	})
+	e.Run()
+}
+
+func TestLBAMappingContiguous(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	f, _ := fs.Create("f", int64(4*fs.PageSize()))
+	base := f.LBA(0)
+	for i := 0; i < 4; i++ {
+		if f.LBA(int64(i*fs.PageSize())) != base+ftl.LBA(i) {
+			t.Fatalf("page %d not contiguous", i)
+		}
+	}
+}
+
+func TestAllocationReuseAfterRemove(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	free0 := fs.FreePages()
+	a, _ := fs.Create("a", int64(10*fs.PageSize()))
+	if fs.FreePages() != free0-10 {
+		t.Fatalf("free = %d", fs.FreePages())
+	}
+	fs.Create("b", int64(5*fs.PageSize()))
+	startA := a.LBA(0)
+	fs.Remove("a")
+	if fs.FreePages() != free0-5 {
+		t.Fatalf("free after remove = %d", fs.FreePages())
+	}
+	// First-fit should reuse a's hole.
+	c, _ := fs.Create("c", int64(10*fs.PageSize()))
+	if c.LBA(0) != startA {
+		t.Fatalf("hole not reused: %d vs %d", c.LBA(0), startA)
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	if _, err := fs.Create("huge", int64(fs.FreePages()+1)*int64(fs.PageSize())); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFragmentationCoalescing(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	ps := int64(fs.PageSize())
+	fs.Create("a", 4*ps)
+	fs.Create("b", 4*ps)
+	fs.Create("c", 4*ps)
+	fs.Remove("a")
+	fs.Remove("c")
+	fs.Remove("b") // middle last: all three must coalesce with tail
+	f, err := fs.Create("big", 12*ps)
+	if err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+	if f.LBA(0) != 0 {
+		t.Fatalf("expected allocation at 0, got %d", f.LBA(0))
+	}
+}
+
+func TestRemovedFileRejectsIO(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	f, _ := fs.Create("f", 8192)
+	fs.Remove("f")
+	e.Go("t", func(p *sim.Proc) {
+		if err := f.WriteAt(p, 0, []byte("x")); !errors.Is(err, ErrNotFound) {
+			t.Errorf("write err = %v", err)
+		}
+		if err := f.Sync(p); !errors.Is(err, ErrNotFound) {
+			t.Errorf("sync err = %v", err)
+		}
+	})
+	e.Run()
+}
+
+func TestListSorted(t *testing.T) {
+	e := sim.NewEnv()
+	fs := newFS(e)
+	fs.Create("zeta", 4096)
+	fs.Create("alpha", 4096)
+	got := fs.List()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+// Property: a write at any offset/length within capacity reads back
+// identically and never disturbs a disjoint sentinel region.
+func TestPropertyWriteReadIsolation(t *testing.T) {
+	prop := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		e := sim.NewEnv()
+		fs := newFS(e)
+		f, err := fs.Create("f", 64*1024)
+		if err != nil {
+			return false
+		}
+		o := int64(off) % (64*1024 - int64(len(data)))
+		// Sentinel in the last page.
+		sentOff := f.Capacity() - int64(fs.PageSize())
+		if o+int64(len(data)) > sentOff {
+			return true
+		}
+		ok := true
+		e.Go("t", func(p *sim.Proc) {
+			sent := bytes.Repeat([]byte{0xEE}, fs.PageSize())
+			f.WriteAt(p, sentOff, sent)
+			if err := f.WriteAt(p, o, data); err != nil {
+				ok = false
+				return
+			}
+			got := make([]byte, len(data))
+			f.ReadAt(p, o, got)
+			if !bytes.Equal(got, data) {
+				ok = false
+				return
+			}
+			gotSent := make([]byte, fs.PageSize())
+			f.ReadAt(p, sentOff, gotSent)
+			ok = bytes.Equal(gotSent, sent)
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

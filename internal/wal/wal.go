@@ -1,0 +1,723 @@
+// Package wal implements write-ahead logging over the simulated
+// storage stack, with the three commit modes the paper compares
+// (Fig 5):
+//
+//   - Sync:  the conventional scheme — records staged in host memory,
+//     page-aligned block writes plus fsync on commit, with standard
+//     group commit so concurrent committers share one flush.
+//   - Async: commits return immediately; a background flush runs after
+//     a configurable interval. Maximum throughput, open loss window.
+//   - BA:    the paper's BA-WAL — records are appended straight onto
+//     the 2B-SSD BA-buffer with MMIO stores, committed with BA_SYNC
+//     (clflush+mfence+write-verify read), and whole segments are
+//     flushed to NAND in the background with BA_FLUSH, double-buffered
+//     so logging and flushing proceed in parallel (Section IV-B).
+//
+// Record format (little endian):
+//
+//	[4] payload length
+//	[4] CRC-32 (IEEE) of the payload
+//	[8] stream position of the record start (guards against stale data
+//	    in recycled segments)
+//	[n] payload
+//
+// Records never straddle a segment boundary; a length field of
+// 0xFFFFFFFF is a padding marker meaning "skip to the next segment
+// boundary", and a zero length field means end of log.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"twobssd/internal/core"
+	"twobssd/internal/ftl"
+	"twobssd/internal/sim"
+	"twobssd/internal/vfs"
+)
+
+// CommitMode selects the durability protocol.
+type CommitMode int
+
+// The commit modes: the three of Fig 5 plus PM, the heterogeneous
+// memory architecture of Fig 10 (records persist in a host persistent
+// memory buffer at commit and flush to the log device lazily, as in
+// NVWAL-style designs).
+const (
+	Sync CommitMode = iota
+	Async
+	BA
+	PM
+	// PMR models an NVMe Persistent-Memory-Region SSD (the Section VII
+	// comparison): records append to device NVRAM over MMIO like BA,
+	// but there is NO internal datapath — filled segments must be DMA-
+	// read back to the host and written to the file through the block
+	// I/O stack.
+	PMR
+)
+
+func (m CommitMode) String() string {
+	switch m {
+	case Sync:
+		return "SYNC"
+	case Async:
+		return "ASYNC"
+	case BA:
+		return "BA"
+	case PM:
+		return "PM"
+	case PMR:
+		return "PMR"
+	default:
+		return fmt.Sprintf("CommitMode(%d)", int(m))
+	}
+}
+
+// LSN is a log sequence number: the stream offset just past a record.
+type LSN uint64
+
+const headerBytes = 16
+
+// padMarker in the length field tells recovery to skip to the next
+// segment boundary.
+const padMarker = 0xFFFFFFFF
+
+// Errors reported by the log.
+var (
+	ErrLogFull   = errors.New("wal: log file full (checkpoint required)")
+	ErrTooLarge  = errors.New("wal: record larger than a segment")
+	ErrBadConfig = errors.New("wal: invalid configuration")
+)
+
+// Config assembles a log.
+type Config struct {
+	Mode CommitMode
+
+	// File is the backing log file (all modes). In BA mode it provides
+	// the NAND LBA ranges the BA-buffer segments pin onto.
+	File *vfs.File
+
+	// SegmentBytes is the unit records must not straddle. In BA mode
+	// it is the pinned-window size (half the BA-buffer with double
+	// buffering, per the paper); block modes may leave it zero to use
+	// the whole file as one segment.
+	SegmentBytes int
+
+	// BA-mode plumbing.
+	SSD          *core.TwoBSSD
+	EIDs         []core.EID // one entry per buffer half
+	BufferOffset int        // base of this log's window in the BA-buffer
+	DoubleBuffer bool       // pin the next segment while flushing the last
+
+	// AsyncFlushInterval bounds the loss window in Async mode and sets
+	// the PM mode's lazy write-behind cadence.
+	AsyncFlushInterval sim.Duration
+
+	// PMPersistCost is the PM-mode commit cost: a DRAM-latency store
+	// plus cache-line flush into the emulated persistent memory.
+	PMPersistCost sim.Duration
+
+	// AppendCPU charges per-append host CPU work (encode + memcpy).
+	AppendCPU sim.Duration
+}
+
+// Stats aggregates log activity.
+type Stats struct {
+	Appends       uint64
+	Commits       uint64
+	Flushes       uint64 // block fsyncs or BA_FLUSH calls
+	BytesAppended uint64
+	PadBytes      uint64
+	CommitTime    sim.Duration // total virtual time spent inside Commit
+}
+
+// AvgCommit returns the mean commit latency.
+func (s Stats) AvgCommit() sim.Duration {
+	if s.Commits == 0 {
+		return 0
+	}
+	return s.CommitTime / sim.Duration(s.Commits)
+}
+
+type half struct {
+	eid    core.EID
+	bufOff int   // byte offset of this half in the BA-buffer
+	seg    int64 // segment index currently pinned, -1 if none
+	ready  bool  // not mid-flush
+	sig    *sim.Signal
+}
+
+// Log is one write-ahead log.
+type Log struct {
+	env *sim.Env
+	cfg Config
+	ps  int
+
+	appendOff  int64
+	durableOff int64
+	flushedOff int64 // device-flush cursor (differs from durable in PM mode)
+
+	mu *sim.Resource // serializes offset reservation and rollover
+
+	// Block-mode state.
+	stage          []byte
+	flushing       bool
+	flushed        *sim.Signal
+	asyncScheduled bool
+
+	// BA-mode state.
+	halves []*half
+
+	stats Stats
+}
+
+// Open builds a log over cfg. The file is assumed fresh or previously
+// Reset; call Recover to resume an existing log.
+func Open(env *sim.Env, cfg Config) (*Log, error) {
+	if cfg.File == nil {
+		return nil, fmt.Errorf("%w: nil File", ErrBadConfig)
+	}
+	if cfg.SegmentBytes == 0 {
+		cfg.SegmentBytes = int(cfg.File.Capacity())
+	}
+	ps := int64(4096)
+	if cfg.SSD != nil {
+		ps = int64(cfg.SSD.PageSize())
+	}
+	if cfg.Mode == BA || cfg.Mode == PMR {
+		if cfg.SSD == nil {
+			return nil, fmt.Errorf("%w: BA/PMR mode needs an SSD", ErrBadConfig)
+		}
+		n := 1
+		if cfg.DoubleBuffer {
+			n = 2
+		}
+		if len(cfg.EIDs) < n {
+			return nil, fmt.Errorf("%w: BA mode needs %d EIDs", ErrBadConfig, n)
+		}
+		if cfg.SegmentBytes%int(ps) != 0 || cfg.SegmentBytes <= 0 {
+			return nil, fmt.Errorf("%w: SegmentBytes must be page aligned", ErrBadConfig)
+		}
+		if int64(cfg.SegmentBytes) > cfg.File.Capacity() {
+			return nil, fmt.Errorf("%w: segment larger than file", ErrBadConfig)
+		}
+	}
+	if (cfg.Mode == Async || cfg.Mode == PM) && cfg.AsyncFlushInterval <= 0 {
+		cfg.AsyncFlushInterval = 10 * sim.Millisecond
+	}
+	if cfg.Mode == PM && cfg.PMPersistCost <= 0 {
+		cfg.PMPersistCost = 200 * sim.Nanosecond
+	}
+	l := &Log{
+		env:     env,
+		cfg:     cfg,
+		ps:      int(ps),
+		mu:      env.NewResource("wal.mu", 1),
+		flushed: env.NewSignal("wal.flushed"),
+	}
+	if cfg.Mode == BA || cfg.Mode == PMR {
+		n := 1
+		if cfg.DoubleBuffer {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			l.halves = append(l.halves, &half{
+				eid:    cfg.EIDs[i],
+				bufOff: cfg.BufferOffset + i*cfg.SegmentBytes,
+				seg:    -1,
+				ready:  true,
+				sig:    env.NewSignal(fmt.Sprintf("wal.half%d", i)),
+			})
+		}
+	} else {
+		l.stage = make([]byte, cfg.File.Capacity())
+	}
+	return l, nil
+}
+
+// Mode returns the commit mode.
+func (l *Log) Mode() CommitMode { return l.cfg.Mode }
+
+// Stats returns a snapshot of counters.
+func (l *Log) Stats() Stats { return l.stats }
+
+// AppendOff returns the current end of the log stream.
+func (l *Log) AppendOff() int64 { return l.appendOff }
+
+// DurableOff returns the offset below which all records are durable.
+func (l *Log) DurableOff() int64 { return l.durableOff }
+
+func encodeHeader(dst []byte, payload []byte, pos int64) {
+	binary.LittleEndian.PutUint32(dst[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[4:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(dst[8:], uint64(pos))
+}
+
+// Append stages one record and returns its LSN (commit target). The
+// record becomes durable only after Commit(lsn) in Sync/BA modes.
+func (l *Log) Append(p *sim.Proc, payload []byte) (LSN, error) {
+	need := headerBytes + len(payload)
+	if need > l.cfg.SegmentBytes {
+		return 0, fmt.Errorf("%w: %d > segment %d", ErrTooLarge, need, l.cfg.SegmentBytes)
+	}
+	if l.cfg.AppendCPU > 0 {
+		p.Sleep(l.cfg.AppendCPU)
+	}
+
+	l.mu.Acquire(p)
+	// Segment-straddle handling: pad to the next boundary.
+	segEnd := (l.appendOff/int64(l.cfg.SegmentBytes) + 1) * int64(l.cfg.SegmentBytes)
+	if l.appendOff+int64(need) > segEnd {
+		if err := l.pad(p, segEnd); err != nil {
+			l.mu.Release()
+			return 0, err
+		}
+	}
+	if l.appendOff+int64(need) > l.cfg.File.Capacity() {
+		l.mu.Release()
+		return 0, ErrLogFull
+	}
+	pos := l.appendOff
+	l.appendOff += int64(need)
+	var h *half
+	if l.cfg.Mode == BA || l.cfg.Mode == PMR {
+		var err error
+		h, err = l.pinFor(p, pos)
+		if err != nil {
+			// Roll back the reservation: nothing was written.
+			l.appendOff = pos
+			l.mu.Release()
+			return 0, err
+		}
+	}
+	l.mu.Release()
+
+	rec := make([]byte, need)
+	encodeHeader(rec, payload, pos)
+	copy(rec[headerBytes:], payload)
+
+	if l.cfg.Mode == BA || l.cfg.Mode == PMR {
+		off := h.bufOff + int(pos%int64(l.cfg.SegmentBytes))
+		if err := l.cfg.SSD.Mmio().Write(p, off, rec); err != nil {
+			return 0, err
+		}
+	} else {
+		copy(l.stage[pos:], rec)
+	}
+	l.stats.Appends++
+	l.stats.BytesAppended += uint64(need)
+	return LSN(pos + int64(need)), nil
+}
+
+// pad writes a zero length marker (if room) and advances to `to`,
+// which must be the next segment boundary.
+func (l *Log) pad(p *sim.Proc, to int64) error {
+	gap := to - l.appendOff
+	if gap <= 0 {
+		return nil
+	}
+	l.stats.PadBytes += uint64(gap)
+	if gap >= 4 {
+		marker := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+		if l.cfg.Mode == BA || l.cfg.Mode == PMR {
+			h, err := l.pinFor(p, l.appendOff)
+			if err != nil {
+				return err
+			}
+			off := h.bufOff + int(l.appendOff%int64(l.cfg.SegmentBytes))
+			if err := l.cfg.SSD.Mmio().Write(p, off, marker); err != nil {
+				return err
+			}
+		} else {
+			copy(l.stage[l.appendOff:], marker)
+		}
+	}
+	l.appendOff = to
+	return nil
+}
+
+// pinFor ensures the segment containing pos is bound to a half and
+// returns it. In BA mode the bind is a BA_PIN (with the internal
+// datapath load + the LBA gate); in PMR mode the window is raw NVRAM —
+// no pin, no gate, no load. Called with l.mu held.
+func (l *Log) pinFor(p *sim.Proc, pos int64) (*half, error) {
+	seg := pos / int64(l.cfg.SegmentBytes)
+	h := l.halves[seg%int64(len(l.halves))]
+	if h.seg == seg {
+		return h, nil
+	}
+	// Wait for any in-flight flush of this half to finish.
+	for !h.ready {
+		h.sig.Wait(p)
+	}
+	if h.seg == seg {
+		return h, nil
+	}
+	if h.seg >= 0 {
+		// A previous segment is still pinned here (single-buffer case,
+		// or a lagging half): flush it out synchronously.
+		if err := l.flushHalf(p, h); err != nil {
+			return nil, err
+		}
+	}
+	if l.cfg.Mode == BA {
+		pages := l.cfg.SegmentBytes / l.ps
+		lba := l.cfg.File.LBA(seg * int64(l.cfg.SegmentBytes))
+		if err := l.cfg.SSD.BAPin(p, h.eid, h.bufOff, lba, pages); err != nil {
+			return nil, err
+		}
+	}
+	h.seg = seg
+
+	// Double buffering: kick off a background flush of the *other*
+	// half so it is ready when the log wraps to it.
+	if l.cfg.DoubleBuffer {
+		other := l.halves[(seg+1)%2]
+		if other.seg >= 0 && other.ready && other.seg < seg {
+			other.ready = false
+			l.env.Go("wal.baflush", func(w *sim.Proc) {
+				if err := l.flushHalf(w, other); err != nil {
+					panic(fmt.Sprintf("wal: background BA flush: %v", err))
+				}
+				other.ready = true
+				other.sig.Fire()
+			})
+		}
+	}
+	return h, nil
+}
+
+// flushHalf persists and releases one half. BA mode: BA_SYNC (commit
+// any posted stores) then BA_FLUSH over the internal datapath. PMR
+// mode: there is no internal datapath — the segment is DMA-read back
+// to the host and written to the file through the block I/O stack,
+// exactly the extra round trip Section VII attributes to PMR devices.
+func (l *Log) flushHalf(p *sim.Proc, h *half) error {
+	if h.seg < 0 {
+		return nil
+	}
+	if l.cfg.Mode == PMR {
+		if err := l.cfg.SSD.Mmio().Sync(p, h.bufOff, l.cfg.SegmentBytes); err != nil {
+			return err
+		}
+		buf := make([]byte, l.cfg.SegmentBytes)
+		if _, err := l.cfg.SSD.PMRReadDMA(p, h.bufOff, buf); err != nil {
+			return err
+		}
+		off := h.seg * int64(l.cfg.SegmentBytes)
+		if err := l.cfg.File.WriteAt(p, off, buf); err != nil {
+			return err
+		}
+		if err := l.cfg.File.Sync(p); err != nil {
+			return err
+		}
+		h.seg = -1
+		l.stats.Flushes++
+		return nil
+	}
+	if err := l.cfg.SSD.BASync(p, h.eid); err != nil {
+		return err
+	}
+	if err := l.cfg.SSD.BAFlush(p, h.eid); err != nil {
+		return err
+	}
+	h.seg = -1
+	l.stats.Flushes++
+	return nil
+}
+
+// Commit makes the log durable up to lsn according to the mode.
+func (l *Log) Commit(p *sim.Proc, lsn LSN) error {
+	start := l.env.Now()
+	defer func() {
+		l.stats.Commits++
+		l.stats.CommitTime += sim.Duration(l.env.Now() - start)
+	}()
+	switch l.cfg.Mode {
+	case Async:
+		l.scheduleAsyncFlush()
+		return nil
+	case PM:
+		return l.commitPM(p, int64(lsn))
+	case BA, PMR:
+		return l.commitBA(p, int64(lsn))
+	default:
+		return l.commitSync(p, int64(lsn))
+	}
+}
+
+// commitPM persists the record in the host PM buffer (a cache-line
+// flush away) and schedules a lazy write-behind to the log device —
+// the Fig 1(c) heterogeneous memory architecture.
+func (l *Log) commitPM(p *sim.Proc, target int64) error {
+	if target <= l.durableOff {
+		return nil
+	}
+	p.Sleep(l.cfg.PMPersistCost)
+	if target > l.durableOff {
+		l.durableOff = target
+	}
+	l.scheduleAsyncFlush()
+	return nil
+}
+
+// commitBA syncs the MMIO ranges covering [durableOff, target).
+func (l *Log) commitBA(p *sim.Proc, target int64) error {
+	if target <= l.durableOff {
+		return nil
+	}
+	segBytes := int64(l.cfg.SegmentBytes)
+	from := l.durableOff
+	for from < target {
+		seg := from / segBytes
+		segEnd := (seg + 1) * segBytes
+		to := target
+		if to > segEnd {
+			to = segEnd
+		}
+		h := l.halves[seg%int64(len(l.halves))]
+		if h.seg == seg {
+			off := h.bufOff + int(from%segBytes)
+			if err := l.cfg.SSD.Mmio().Sync(p, off, int(to-from)); err != nil {
+				return err
+			}
+		}
+		// If the segment is no longer pinned it was already flushed to
+		// NAND — durable by a stronger means.
+		from = to
+	}
+	if target > l.durableOff {
+		l.durableOff = target
+	}
+	return nil
+}
+
+// commitSync implements group commit: one leader writes the dirty
+// pages and fsyncs; followers whose target is covered just wait.
+func (l *Log) commitSync(p *sim.Proc, target int64) error {
+	for l.durableOff < target {
+		if l.flushing {
+			l.flushed.Wait(p)
+			continue
+		}
+		if err := l.flushBlock(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushBlock writes all staged-but-unflushed bytes (page aligned) and
+// fsyncs. The caller becomes the flush leader.
+func (l *Log) flushBlock(p *sim.Proc) error {
+	for l.flushing {
+		// Another leader is mid-flush (e.g. an async timer racing a
+		// Drain): wait for it rather than double-writing.
+		l.flushed.Wait(p)
+	}
+	l.flushing = true
+	defer func() {
+		l.flushing = false
+		l.flushed.Fire()
+	}()
+	flushTo := l.appendOff // absorb everything appended so far (group)
+	if flushTo == l.flushedOff {
+		return nil
+	}
+	ps := int64(l.ps)
+	first := (l.flushedOff / ps) * ps
+	last := ((flushTo + ps - 1) / ps) * ps
+	if last > l.cfg.File.Capacity() {
+		last = l.cfg.File.Capacity()
+	}
+	if err := l.cfg.File.WriteAt(p, first, l.stage[first:last]); err != nil {
+		return err
+	}
+	if err := l.cfg.File.Sync(p); err != nil {
+		return err
+	}
+	l.stats.Flushes++
+	l.flushedOff = flushTo
+	if l.cfg.Mode != PM && flushTo > l.durableOff {
+		l.durableOff = flushTo
+	}
+	return nil
+}
+
+// scheduleAsyncFlush arms a one-shot background flush if none is
+// pending — the Async mode's loss window.
+func (l *Log) scheduleAsyncFlush() {
+	if l.asyncScheduled {
+		return
+	}
+	l.asyncScheduled = true
+	l.env.GoAt(l.env.Now()+sim.Time(l.cfg.AsyncFlushInterval), "wal.asyncflush", func(p *sim.Proc) {
+		l.asyncScheduled = false
+		if err := l.flushBlock(p); err != nil {
+			panic(fmt.Sprintf("wal: async flush: %v", err))
+		}
+	})
+}
+
+// Drain forces all appended records durable (shutdown / checkpoint
+// barrier) regardless of mode.
+func (l *Log) Drain(p *sim.Proc) error {
+	switch l.cfg.Mode {
+	case BA, PMR:
+		return l.commitBA(p, l.appendOff)
+	case PM:
+		if err := l.commitPM(p, l.appendOff); err != nil {
+			return err
+		}
+		for l.flushedOff < l.appendOff {
+			if err := l.flushBlock(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return l.commitSync(p, l.appendOff)
+	}
+}
+
+// FlushToNAND pushes everything down to flash and unpins BA segments.
+// After it returns the whole log is block-readable.
+func (l *Log) FlushToNAND(p *sim.Proc) error {
+	if err := l.Drain(p); err != nil {
+		return err
+	}
+	if l.cfg.Mode == BA || l.cfg.Mode == PMR {
+		for _, h := range l.halves {
+			for !h.ready {
+				h.sig.Wait(p)
+			}
+			if err := l.flushHalf(p, h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return l.cfg.File.Sync(p)
+}
+
+// Reset truncates the log (checkpoint): offsets return to zero and a
+// zero header is durably written at position 0 so recovery never
+// resurrects pre-reset records.
+func (l *Log) Reset(p *sim.Proc) error {
+	if err := l.FlushToNAND(p); err != nil {
+		return err
+	}
+	zero := make([]byte, l.ps)
+	if err := l.cfg.File.WriteAt(p, 0, zero); err != nil {
+		return err
+	}
+	if err := l.cfg.File.Sync(p); err != nil {
+		return err
+	}
+	if l.stage != nil {
+		for i := range l.stage {
+			l.stage[i] = 0
+		}
+	}
+	l.appendOff = 0
+	l.durableOff = 0
+	l.flushedOff = 0
+	return nil
+}
+
+// Recover scans the log from position 0, invoking fn for every intact
+// record, and positions the log to continue appending after the last
+// one. In BA mode any of this log's segments still pinned from before
+// a crash are flushed to NAND first (the mapping table survived the
+// power cycle via the recovery manager), so a single block-read scan
+// sees everything.
+func (l *Log) Recover(p *sim.Proc, fn func(lsn LSN, payload []byte) error) error {
+	if l.cfg.Mode == BA || l.cfg.Mode == PMR {
+		if err := l.unpinMine(p); err != nil {
+			return err
+		}
+	}
+	cap := l.cfg.File.Capacity()
+	segBytes := int64(l.cfg.SegmentBytes)
+	buf := make([]byte, headerBytes)
+	pos := int64(0)
+	for pos+headerBytes <= cap {
+		segEnd := (pos/segBytes + 1) * segBytes
+		if pos+headerBytes > segEnd {
+			pos = segEnd
+			continue
+		}
+		if err := l.cfg.File.ReadAt(p, pos, buf); err != nil {
+			return err
+		}
+		rawLen := binary.LittleEndian.Uint32(buf[0:])
+		if rawLen == 0 {
+			break // end of log
+		}
+		if rawLen == padMarker {
+			pos = segEnd // padding: resume at the next segment
+			continue
+		}
+		n := int(rawLen)
+		wantCRC := binary.LittleEndian.Uint32(buf[4:])
+		stamp := int64(binary.LittleEndian.Uint64(buf[8:]))
+		if stamp != pos || pos+headerBytes+int64(n) > segEnd {
+			break // stale or torn
+		}
+		payload := make([]byte, n)
+		if err := l.cfg.File.ReadAt(p, pos+headerBytes, payload); err != nil {
+			return err
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break // torn record: stop here
+		}
+		pos += headerBytes + int64(n)
+		if fn != nil {
+			if err := fn(LSN(pos), payload); err != nil {
+				return err
+			}
+		}
+	}
+	l.appendOff = pos
+	l.durableOff = pos
+	l.flushedOff = pos
+	if l.stage != nil {
+		// Rebuild the stage image so later flushes rewrite real bytes.
+		if pos > 0 {
+			if err := l.cfg.File.ReadAt(p, 0, l.stage[:pos]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// unpinMine flushes any BA-buffer entries pinned over this log's file.
+// PMR mode has no entries; its halves just reset.
+func (l *Log) unpinMine(p *sim.Proc) error {
+	if l.cfg.Mode == PMR {
+		for _, h := range l.halves {
+			if err := l.flushHalf(p, h); err != nil {
+				return err
+			}
+			h.ready = true
+		}
+		return nil
+	}
+	lo := l.cfg.File.LBA(0)
+	hi := lo + ftl.LBA(l.cfg.File.Pages())
+	for _, ent := range l.cfg.SSD.Entries() {
+		if ent.LBA >= lo && ent.LBA < hi {
+			if err := l.cfg.SSD.BAFlush(p, ent.ID); err != nil {
+				return err
+			}
+		}
+	}
+	for _, h := range l.halves {
+		h.seg = -1
+		h.ready = true
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+
+	"twobssd/internal/sim"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	z := NewZipfian(1000, 0.99, 42)
+	counts := make([]int, 1000)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must be far more popular than rank 500.
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("no skew: c0=%d c500=%d", counts[0], counts[500])
+	}
+	// Head mass: top-10 of a 0.99-zipfian carries a large share.
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if frac := float64(head) / draws; frac < 0.15 {
+		t.Fatalf("head mass = %.3f, want > 0.15", frac)
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a, b := NewZipfian(100, 0.99, 7), NewZipfian(100, 0.99, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestWorkloadAMix(t *testing.T) {
+	g := NewGenerator(WorkloadA(1000, 64, 1))
+	reads, updates := 0, 0
+	for i := 0; i < 20000; i++ {
+		switch g.Next().Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatal("unexpected op kind in workload A")
+		}
+	}
+	frac := float64(reads) / 20000
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("read fraction = %.3f, want ~0.5", frac)
+	}
+	_ = updates
+}
+
+func TestPayloadSize(t *testing.T) {
+	g := NewGenerator(WorkloadA(100, 256, 1))
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if op.Kind == OpUpdate && len(op.Value) != 256 {
+			t.Fatalf("payload = %d", len(op.Value))
+		}
+	}
+}
+
+func TestKeysScrambledAndStable(t *testing.T) {
+	g := NewGenerator(WorkloadA(100, 64, 1))
+	k1, k2 := g.Key(1), g.Key(2)
+	if string(k1) == string(k2) {
+		t.Fatal("key collision")
+	}
+	if string(g.Key(1)) != string(k1) {
+		t.Fatal("keys not stable")
+	}
+}
+
+// memKV is an in-memory KV charging fixed costs, for runner tests.
+type memKV struct {
+	m map[string][]byte
+}
+
+func (k *memKV) Read(p *sim.Proc, key []byte) error {
+	p.Sleep(1 * sim.Microsecond)
+	_ = k.m[string(key)]
+	return nil
+}
+
+func (k *memKV) Update(p *sim.Proc, key, value []byte) error {
+	p.Sleep(2 * sim.Microsecond)
+	k.m[string(key)] = value
+	return nil
+}
+
+func TestRunAggregates(t *testing.T) {
+	env := sim.NewEnv()
+	kv := &memKV{m: make(map[string][]byte)}
+	res, err := Run(env, kv, WorkloadA(100, 64, 9), 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.Reads == 0 || res.Updates == 0 {
+		t.Fatalf("mix missing: %+v", res)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+	// 4 clients of 250 ops at 1-2us each, concurrent: elapsed must be
+	// well under the serial sum.
+	if res.Elapsed > 700*sim.Microsecond {
+		t.Fatalf("elapsed %v suggests no concurrency", res.Elapsed)
+	}
+}
