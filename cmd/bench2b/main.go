@@ -3,30 +3,54 @@
 //
 // Usage:
 //
-//	bench2b [-full] [experiment ...]
+//	bench2b [-full] [-metrics m.json] [-trace out.trace.json] [experiment ...]
 //
 // Experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf
-// mixed recovery ablations all (default: all).
+// mixed recovery probe ablations all (default: all).
+//
+// -metrics writes a merged snapshot of every counter, gauge and latency
+// histogram the run's environments recorded. -trace writes Chrome
+// trace-event JSON of the virtual-time spans (open in Perfetto or
+// chrome://tracing); each simulated environment is one trace process.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"twobssd/internal/bench"
+	"twobssd/internal/obs"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run at full scale (slower, closer to the paper's run lengths)")
+	metricsPath := flag.String("metrics", "", "write merged metrics snapshot JSON to this file")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd ablations all\n")
+		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-metrics m.json] [-trace out.trace.json] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd probe ablations all\n")
 	}
 	flag.Parse()
 	scale := bench.Quick
 	if *full {
 		scale = bench.Full
+	}
+
+	// Open the report files before running anything: a bad path should
+	// fail now, not after minutes of experiments.
+	var col *obs.Collector
+	var metricsFile, traceFile *os.File
+	if *metricsPath != "" || *tracePath != "" {
+		if *metricsPath != "" {
+			metricsFile = createReport(*metricsPath)
+		}
+		if *tracePath != "" {
+			traceFile = createReport(*tracePath)
+		}
+		col = obs.NewCollector(traceFile != nil)
+		col.Install()
 	}
 
 	args := flag.Args()
@@ -55,6 +79,7 @@ func main() {
 		"pmr":       func() { bench.PMRComparison(scale).Print(os.Stdout) },
 		"journal":   func() { bench.Journaling(scale).Print(os.Stdout) },
 		"qd":        func() { bench.QueueDepth(scale).Print(os.Stdout) },
+		"probe":     func() { bench.Probe(scale).Print(os.Stdout) },
 		"ablations": func() {
 			bench.AblationWriteCombining(scale).Print(os.Stdout)
 			bench.AblationDoubleBuffering(scale).Print(os.Stdout)
@@ -63,7 +88,7 @@ func main() {
 	}
 	order := []string{"tab1", "fig7a", "fig7b", "fig8a", "fig8b", "fig9",
 		"fig10", "commit", "waf", "mixed", "recovery", "tail", "smallread",
-		"pmr", "journal", "qd", "ablations"}
+		"pmr", "journal", "qd", "probe", "ablations"}
 
 	for _, arg := range args {
 		if arg == "all" {
@@ -79,5 +104,36 @@ func main() {
 			os.Exit(2)
 		}
 		run()
+	}
+
+	if col != nil {
+		col.Uninstall()
+		if metricsFile != nil {
+			writeReport(metricsFile, col.WriteMetricsJSON)
+		}
+		if traceFile != nil {
+			writeReport(traceFile, col.WriteTraceJSON)
+		}
+	}
+}
+
+func createReport(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench2b: %v\n", err)
+		os.Exit(1)
+	}
+	return f
+}
+
+func writeReport(f *os.File, emit func(io.Writer) error) {
+	if err := emit(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "bench2b: writing %s: %v\n", f.Name(), err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2b: %v\n", err)
+		os.Exit(1)
 	}
 }

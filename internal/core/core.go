@@ -24,6 +24,8 @@ import (
 
 	"twobssd/internal/device"
 	"twobssd/internal/ftl"
+	"twobssd/internal/histo"
+	"twobssd/internal/obs"
 	"twobssd/internal/pcie"
 	"twobssd/internal/sim"
 )
@@ -81,7 +83,13 @@ type TwoBSSD struct {
 	powered bool
 	rec     *recovery
 
-	stats Stats
+	// Metrics ("2bssd.*" in the obs registry; Stats() reads them back).
+	o                           *obs.Set
+	cPins, cFlushes, cSyncs     *obs.Counter
+	cInfos, cDMAReads           *obs.Counter
+	cPagesPinned, cPagesFlushed *obs.Counter
+	cDMABytes, cGateRejects     *obs.Counter
+	hPin, hFlush, hSync, hDMA   *histo.H
 }
 
 // New builds a 2B-SSD. Panics on invalid configuration
@@ -115,7 +123,23 @@ func New(env *sim.Env, cfg Config) *TwoBSSD {
 		table:   make([]*Entry, cfg.MaxEntries),
 		arm:     env.NewResource("2bssd.arm", cfg.InternalWorkers),
 		powered: true,
+		o:       obs.Of(env),
 	}
+	reg := s.o.Registry()
+	s.cPins = reg.Counter("2bssd.pins")
+	s.cFlushes = reg.Counter("2bssd.flushes")
+	s.cSyncs = reg.Counter("2bssd.syncs")
+	s.cInfos = reg.Counter("2bssd.infos")
+	s.cDMAReads = reg.Counter("2bssd.dma_reads")
+	s.cPagesPinned = reg.Counter("2bssd.pages_pinned")
+	s.cPagesFlushed = reg.Counter("2bssd.pages_flushed")
+	s.cDMABytes = reg.Counter("2bssd.dma_bytes")
+	s.cGateRejects = reg.Counter("2bssd.gate_rejects")
+	s.hPin = reg.Histo("2bssd.pin_ns")
+	s.hFlush = reg.Histo("2bssd.flush_ns")
+	s.hSync = reg.Histo("2bssd.sync_ns")
+	s.hDMA = reg.Histo("2bssd.dma_read_ns")
+	reg.GaugeFunc("2bssd.pinned_entries", func() float64 { return float64(len(s.Entries())) })
 	s.win = pcie.NewWindow(env, cfg.MMIO, s.babuf)
 	s.rec = newRecovery(s)
 	s.dev.SetGate(checker{s})
@@ -139,8 +163,18 @@ func (s *TwoBSSD) PageSize() int { return s.dev.PageSize() }
 // BufferPages returns the BA-buffer capacity in pages.
 func (s *TwoBSSD) BufferPages() int { return len(s.babuf) / s.PageSize() }
 
-// Stats returns a snapshot of API counters.
-func (s *TwoBSSD) Stats() Stats { return s.stats }
+// Stats returns a snapshot of API counters (sourced from the obs
+// registry's "2bssd.*" metrics, so this API and the metrics report
+// agree by construction).
+func (s *TwoBSSD) Stats() Stats {
+	return Stats{
+		Pins: s.cPins.Value(), Flushes: s.cFlushes.Value(),
+		Syncs: s.cSyncs.Value(), Infos: s.cInfos.Value(),
+		DMAReads:    s.cDMAReads.Value(),
+		PagesPinned: s.cPagesPinned.Value(), PagesFlushed: s.cPagesFlushed.Value(),
+		DMABytes: s.cDMABytes.Value(),
+	}
+}
 
 // checker is the LBA checker: the hardware logic snooping every block
 // I/O request for collisions with pinned ranges (Section III-A2).
@@ -159,8 +193,18 @@ func (c checker) check(lba ftl.LBA, pages int) error {
 	return nil
 }
 
-func (c checker) CheckRead(lba ftl.LBA, pages int) error  { return c.check(lba, pages) }
-func (c checker) CheckWrite(lba ftl.LBA, pages int) error { return c.check(lba, pages) }
+func (c checker) CheckRead(lba ftl.LBA, pages int) error  { return c.reject(c.check(lba, pages)) }
+func (c checker) CheckWrite(lba ftl.LBA, pages int) error { return c.reject(c.check(lba, pages)) }
+
+// reject records a gate rejection (counter + trace instant) on its way
+// back to the block path.
+func (c checker) reject(err error) error {
+	if err != nil {
+		c.s.cGateRejects.Inc()
+		c.s.o.Tracer().Instant("2bssd.checker", "2bssd", "gate_reject")
+	}
+	return err
+}
 
 func (s *TwoBSSD) checkEID(eid EID) error {
 	if int(eid) < 0 || int(eid) >= len(s.table) {
@@ -215,6 +259,9 @@ func (s *TwoBSSD) BAPin(p *sim.Proc, eid EID, offset int, lba ftl.LBA, pages int
 			return fmt.Errorf("%w: with entry %d", ErrOverlap, e.ID)
 		}
 	}
+	start := s.env.Now()
+	sp := s.o.Tracer().BeginProc(p, "2bssd", "ba_pin")
+	defer sp.End()
 	p.Sleep(s.cfg.APIBaseCost)
 	// Order writes-before-pin: any block writes still sitting in the
 	// base device's buffer must reach NAND before the internal read.
@@ -232,8 +279,9 @@ func (s *TwoBSSD) BAPin(p *sim.Proc, eid EID, offset int, lba ftl.LBA, pages int
 		s.table[eid] = nil
 		return err
 	}
-	s.stats.Pins++
-	s.stats.PagesPinned += uint64(pages)
+	s.cPins.Inc()
+	s.cPagesPinned.Add(uint64(pages))
+	s.hPin.Observe(sim.Duration(s.env.Now() - start))
 	return nil
 }
 
@@ -251,13 +299,17 @@ func (s *TwoBSSD) BAFlush(p *sim.Proc, eid EID) error {
 	if ent == nil {
 		return fmt.Errorf("%w: %d", ErrNoEntry, eid)
 	}
+	start := s.env.Now()
+	sp := s.o.Tracer().BeginProc(p, "2bssd", "ba_flush")
+	defer sp.End()
 	p.Sleep(s.cfg.APIBaseCost)
 	if err := s.internalMove(p, ent, true); err != nil {
 		return err
 	}
 	s.table[eid] = nil
-	s.stats.Flushes++
-	s.stats.PagesFlushed += uint64(ent.Pages)
+	s.cFlushes.Inc()
+	s.cPagesFlushed.Add(uint64(ent.Pages))
+	s.hFlush.Observe(sim.Duration(s.env.Now() - start))
 	return nil
 }
 
@@ -267,6 +319,12 @@ func (s *TwoBSSD) BAFlush(p *sim.Proc, eid EID) error {
 // are dirty (the CPU wrote them directly), so a flush always moves the
 // whole entry — exactly the paper's Section III-C semantics.
 func (s *TwoBSSD) internalMove(p *sim.Proc, ent *Entry, write bool) error {
+	name := "pin_move"
+	if write {
+		name = "flush_move"
+	}
+	sp := s.o.Tracer().Begin("2bssd.datapath", "2bssd", name)
+	defer sp.End()
 	ps := s.PageSize()
 	wg := s.env.NewWaitGroup("2bssd.move")
 	wg.Add(ent.Pages)
@@ -306,6 +364,9 @@ func (s *TwoBSSD) BASync(p *sim.Proc, eid EID) error {
 	if err := s.checkPower(); err != nil {
 		return err
 	}
+	start := s.env.Now()
+	sp := s.o.Tracer().BeginProc(p, "2bssd", "ba_sync")
+	defer sp.End()
 	ent, err := s.BAGetEntryInfo(p, eid)
 	if err != nil {
 		return err
@@ -313,7 +374,8 @@ func (s *TwoBSSD) BASync(p *sim.Proc, eid EID) error {
 	if err := s.win.Sync(p, ent.Offset, ent.Pages*s.PageSize()); err != nil {
 		return err
 	}
-	s.stats.Syncs++
+	s.cSyncs.Inc()
+	s.hSync.Observe(sim.Duration(s.env.Now() - start))
 	return nil
 }
 
@@ -330,7 +392,7 @@ func (s *TwoBSSD) BAGetEntryInfo(p *sim.Proc, eid EID) (Entry, error) {
 		return Entry{}, fmt.Errorf("%w: %d", ErrNoEntry, eid)
 	}
 	p.Sleep(s.cfg.InfoCost)
-	s.stats.Infos++
+	s.cInfos.Inc()
 	return *ent, nil
 }
 
@@ -351,11 +413,15 @@ func (s *TwoBSSD) BAReadDMA(p *sim.Proc, eid EID, dst []byte) (int, error) {
 	if max := ent.Pages * s.PageSize(); n > max {
 		n = max
 	}
+	start := s.env.Now()
+	sp := s.o.Tracer().BeginProc(p, "2bssd", "ba_read_dma")
 	p.Sleep(s.cfg.DMABaseCost)
 	p.Sleep(sim.Duration(int64(n) * 1000 / int64(s.cfg.DMAMBps)))
+	sp.End()
 	copy(dst[:n], s.babuf[ent.Offset:ent.Offset+n])
-	s.stats.DMAReads++
-	s.stats.DMABytes += uint64(n)
+	s.cDMAReads.Inc()
+	s.cDMABytes.Add(uint64(n))
+	s.hDMA.Observe(sim.Duration(s.env.Now() - start))
 	return n, nil
 }
 
@@ -373,11 +439,15 @@ func (s *TwoBSSD) PMRReadDMA(p *sim.Proc, off int, dst []byte) (int, error) {
 	if off < 0 || off+n > len(s.babuf) {
 		return 0, fmt.Errorf("%w: [%d,%d)", ErrOutOfBuffer, off, off+n)
 	}
+	start := s.env.Now()
+	sp := s.o.Tracer().BeginProc(p, "2bssd", "pmr_read_dma")
 	p.Sleep(s.cfg.DMABaseCost)
 	p.Sleep(sim.Duration(int64(n) * 1000 / int64(s.cfg.DMAMBps)))
+	sp.End()
 	copy(dst, s.babuf[off:off+n])
-	s.stats.DMAReads++
-	s.stats.DMABytes += uint64(n)
+	s.cDMAReads.Inc()
+	s.cDMABytes.Add(uint64(n))
+	s.hDMA.Observe(sim.Duration(s.env.Now() - start))
 	return n, nil
 }
 

@@ -14,7 +14,9 @@ import (
 	"fmt"
 
 	"twobssd/internal/ftl"
+	"twobssd/internal/histo"
 	"twobssd/internal/nand"
+	"twobssd/internal/obs"
 	"twobssd/internal/sim"
 )
 
@@ -187,8 +189,19 @@ type Device struct {
 	popOrder    map[ftl.LBA][]uint64
 	pendingData map[ftl.LBA][][]byte
 
-	gate  Gate
-	stats Stats
+	gate Gate
+
+	// Metrics ("<profile>.*" in the obs registry; Stats() reads them
+	// back). Track names are precomputed so the disabled-tracer hot
+	// path performs no string building.
+	o                      *obs.Set
+	pcieTrack, bufTrack    string
+	cReadCmds, cWriteCmds  *obs.Counter
+	cFlushCmds             *obs.Counter
+	cPagesRead, cPagesWrit *obs.Counter
+	cGatedRd, cGatedWr     *obs.Counter
+	hReadCmd, hWriteCmd    *histo.H
+	hFlush                 *histo.H
 }
 
 // New builds a device from a profile. Panics on invalid profiles
@@ -211,7 +224,22 @@ func New(env *sim.Env, p Profile) *Device {
 		inflightDone: env.NewSignal(p.Name + ".inflightdone"),
 		popOrder:     make(map[ftl.LBA][]uint64),
 		pendingData:  make(map[ftl.LBA][][]byte),
+		o:            obs.Of(env),
+		pcieTrack:    p.Name + ".pcie",
+		bufTrack:     p.Name + ".wbuf",
 	}
+	reg := d.o.Registry()
+	d.cReadCmds = reg.Counter(p.Name + ".read_cmds")
+	d.cWriteCmds = reg.Counter(p.Name + ".write_cmds")
+	d.cFlushCmds = reg.Counter(p.Name + ".flush_cmds")
+	d.cPagesRead = reg.Counter(p.Name + ".pages_read")
+	d.cPagesWrit = reg.Counter(p.Name + ".pages_written")
+	d.cGatedRd = reg.Counter(p.Name + ".gated_reads")
+	d.cGatedWr = reg.Counter(p.Name + ".gated_writes")
+	d.hReadCmd = reg.Histo(p.Name + ".read_cmd_ns")
+	d.hWriteCmd = reg.Histo(p.Name + ".write_cmd_ns")
+	d.hFlush = reg.Histo(p.Name + ".flush_ns")
+	reg.GaugeFunc(p.Name+".buffered_pages", func() float64 { return float64(d.BufferedPages()) })
 	for i := 0; i < p.DrainWorkers; i++ {
 		env.GoDaemon(fmt.Sprintf("%s.drain%d", p.Name, i), d.drainLoop)
 	}
@@ -236,11 +264,31 @@ func (d *Device) Pages() uint64 { return d.ftl.ExportedPages() }
 // SetGate installs an I/O gate (nil removes it).
 func (d *Device) SetGate(g Gate) { d.gate = g }
 
-// Stats returns a snapshot of device counters.
-func (d *Device) Stats() Stats { return d.stats }
+// Stats returns a snapshot of device counters (sourced from the obs
+// registry's "<profile>.*" metrics).
+func (d *Device) Stats() Stats {
+	return Stats{
+		ReadCmds: d.cReadCmds.Value(), WriteCmds: d.cWriteCmds.Value(),
+		FlushCmds: d.cFlushCmds.Value(),
+		PagesRead: d.cPagesRead.Value(), PagesWrit: d.cPagesWrit.Value(),
+		GatedReads: d.cGatedRd.Value(), GatedWrits: d.cGatedWr.Value(),
+	}
+}
 
 func (d *Device) pcieTime(bytes int) sim.Duration {
 	return sim.Duration(int64(bytes) * 1000 / int64(d.profile.PCIeMBps))
+}
+
+// pcieXfer moves bytes over the shared host link: acquire, hold for the
+// transfer time (under a span on the link's own track), release.
+// Timing-identical to pcie.Use.
+func (d *Device) pcieXfer(p *sim.Proc, bytes int) {
+	dur := d.pcieTime(bytes)
+	d.pcie.Acquire(p)
+	sp := d.o.Tracer().Begin(d.pcieTrack, "device", "pcie_xfer")
+	p.Sleep(dur)
+	sp.End()
+	d.pcie.Release()
 }
 
 // ReadPages executes one read command of n pages starting at lba and
@@ -253,11 +301,14 @@ func (d *Device) ReadPages(p *sim.Proc, lba ftl.LBA, n int) ([]byte, error) {
 	}
 	if d.gate != nil {
 		if err := d.gate.CheckRead(lba, n); err != nil {
-			d.stats.GatedReads++
+			d.cGatedRd.Inc()
+			d.o.Tracer().Instant(d.profile.Name+".gate", "device", "gated_read")
 			return nil, err
 		}
 	}
-	d.stats.ReadCmds++
+	d.cReadCmds.Inc()
+	start := d.env.Now()
+	cmd := d.o.Tracer().BeginProc(p, "device", "read_cmd")
 	ps := d.PageSize()
 	p.Sleep(d.profile.SubmissionLatency)
 	d.fw.Use(p, d.profile.FwPerCmdCost)
@@ -284,15 +335,17 @@ func (d *Device) ReadPages(p *sim.Proc, lba ftl.LBA, n int) ([]byte, error) {
 				}
 				copy(out[i*ps:], data)
 			}
-			d.pcie.Use(w, d.pcieTime(ps))
+			d.pcieXfer(w, ps)
 		})
 	}
 	wg.Wait(p)
 	p.Sleep(d.profile.CompletionLatency)
+	cmd.End()
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	d.stats.PagesRead += uint64(n)
+	d.cPagesRead.Add(uint64(n))
+	d.hReadCmd.Observe(sim.Duration(d.env.Now() - start))
 	return out, nil
 }
 
@@ -323,19 +376,22 @@ func (d *Device) WritePages(p *sim.Proc, lba ftl.LBA, data []byte) error {
 	n := len(data) / ps
 	if d.gate != nil {
 		if err := d.gate.CheckWrite(lba, n); err != nil {
-			d.stats.GatedWrits++
+			d.cGatedWr.Inc()
+			d.o.Tracer().Instant(d.profile.Name+".gate", "device", "gated_write")
 			return err
 		}
 	}
 	if uint64(lba)+uint64(n) > d.Pages() {
 		return ftl.ErrLBAOutOfRange
 	}
-	d.stats.WriteCmds++
+	d.cWriteCmds.Inc()
+	start := d.env.Now()
+	cmd := d.o.Tracer().BeginProc(p, "device", "write_cmd")
 	p.Sleep(d.profile.SubmissionLatency)
 	d.fw.Use(p, d.profile.FwPerCmdCost)
 	for i := 0; i < n; i++ {
 		// Transfer the page over PCIe, then wait for buffer space.
-		d.pcie.Use(p, d.pcieTime(ps))
+		d.pcieXfer(p, ps)
 		for len(d.buf) >= d.profile.WriteBufferPages {
 			d.bufSpace.Wait(p)
 		}
@@ -345,13 +401,16 @@ func (d *Device) WritePages(p *sim.Proc, lba ftl.LBA, data []byte) error {
 		if !d.coalesce(l, page) {
 			d.buf = append(d.buf, bufEntry{lba: l, data: page})
 			d.bufWork.Fire()
+			d.o.Tracer().Count(d.bufTrack, "buffered_pages", float64(d.BufferedPages()))
 		}
 	}
 	// Buffer acknowledgement is command-level work: the controller
 	// seals the command once its pages sit in protected buffer RAM.
 	p.Sleep(d.profile.BufferAckLatency)
 	p.Sleep(d.profile.CompletionLatency)
-	d.stats.PagesWrit += uint64(n)
+	cmd.End()
+	d.cPagesWrit.Add(uint64(n))
+	d.hWriteCmd.Observe(sim.Duration(d.env.Now() - start))
 	return nil
 }
 
@@ -362,10 +421,14 @@ func (d *Device) WritePages(p *sim.Proc, lba ftl.LBA, data []byte) error {
 // the paper's "commit overhead reduced up to 26x" ratio (a ~20 µs
 // write+fsync versus a ~1 µs BA commit), not a full cache drain.
 func (d *Device) Flush(p *sim.Proc) error {
-	d.stats.FlushCmds++
+	d.cFlushCmds.Inc()
+	start := d.env.Now()
+	cmd := d.o.Tracer().BeginProc(p, "device", "flush_cmd")
 	p.Sleep(d.profile.SubmissionLatency)
 	d.fw.Use(p, d.profile.FwPerCmdCost)
 	p.Sleep(d.profile.CompletionLatency)
+	cmd.End()
+	d.hFlush.Observe(sim.Duration(d.env.Now() - start))
 	return nil
 }
 
@@ -411,11 +474,13 @@ func (d *Device) drainLoop(p *sim.Proc) {
 		for d.popOrder[ent.lba][0] != ticket {
 			d.inflightDone.Wait(p)
 		}
+		sp := d.o.Tracer().BeginProc(p, "device", "drain_write")
 		if err := d.ftl.WritePage(p, ent.lba, ent.data); err != nil {
 			// Drain failure means the device is configured too small
 			// for the workload: a fatal modeling error.
 			panic(fmt.Sprintf("%s: drain write failed: %v", d.profile.Name, err))
 		}
+		sp.End()
 		d.popOrder[ent.lba] = d.popOrder[ent.lba][1:]
 		if len(d.popOrder[ent.lba]) == 0 {
 			delete(d.popOrder, ent.lba)
@@ -426,6 +491,7 @@ func (d *Device) drainLoop(p *sim.Proc) {
 		}
 		d.inflightDone.Fire()
 		d.inflight--
+		d.o.Tracer().Count(d.bufTrack, "buffered_pages", float64(d.BufferedPages()))
 		if len(d.buf) == 0 && d.inflight == 0 {
 			d.bufDrain.Fire()
 		}

@@ -13,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 
+	"twobssd/internal/histo"
 	"twobssd/internal/nand"
+	"twobssd/internal/obs"
 	"twobssd/internal/sim"
 )
 
@@ -89,7 +91,10 @@ type FTL struct {
 	dieLocks []*sim.Resource
 	gcLock   *sim.Resource
 
-	stats Stats
+	o                              *obs.Set
+	cHostWrites, cHostReads        *obs.Counter
+	cNandWrites, cGCReloc, cGCRuns *obs.Counter
+	hWrite, hGCPause               *histo.H
 }
 
 // New builds an FTL over flash. Panics on impossible configurations
@@ -139,6 +144,16 @@ func New(env *sim.Env, flash *nand.Flash, cfg Config) *FTL {
 			f.free = append(f.free, nand.BlockID(b))
 		}
 	}
+	f.o = obs.Of(env)
+	reg := f.o.Registry()
+	f.cHostWrites = reg.Counter("ftl.host_page_writes")
+	f.cHostReads = reg.Counter("ftl.host_page_reads")
+	f.cNandWrites = reg.Counter("ftl.nand_page_writes")
+	f.cGCReloc = reg.Counter("ftl.gc_relocations")
+	f.cGCRuns = reg.Counter("ftl.gc_runs")
+	f.hWrite = reg.Histo("ftl.write_ns")
+	f.hGCPause = reg.Histo("ftl.gc_pause_ns")
+	reg.GaugeFunc("ftl.free_blocks", func() float64 { return float64(len(f.free)) })
 	return f
 }
 
@@ -196,11 +211,18 @@ func (f *FTL) ExportedPages() uint64 { return f.exportedPages }
 // PageSize reports the logical/physical page size in bytes.
 func (f *FTL) PageSize() int { return f.flash.Config().PageSize }
 
-// Stats returns a snapshot of FTL counters.
+// Stats returns a snapshot of FTL counters, sourced from the obs
+// registry ("ftl.*" metrics) so reports and this API agree by
+// construction.
 func (f *FTL) Stats() Stats {
-	s := f.stats
-	s.FreeBlocks = len(f.free)
-	return s
+	return Stats{
+		HostPageWrites: f.cHostWrites.Value(),
+		HostPageReads:  f.cHostReads.Value(),
+		NandPagewrites: f.cNandWrites.Value(),
+		GCRelocations:  f.cGCReloc.Value(),
+		GCRuns:         f.cGCRuns.Value(),
+		FreeBlocks:     len(f.free),
+	}
 }
 
 // Mapped reports whether an LBA currently has a physical mapping.
@@ -274,6 +296,7 @@ func (f *FTL) WritePage(p *sim.Proc, lba LBA, data []byte) error {
 	if err := f.checkLBA(lba); err != nil {
 		return err
 	}
+	start := f.env.Now()
 	if err := f.maybeGC(p); err != nil {
 		return err
 	}
@@ -296,8 +319,11 @@ func (f *FTL) WritePage(p *sim.Proc, lba LBA, data []byte) error {
 	f.l2p[lba] = ppa
 	f.p2l[ppa] = lba
 	f.validCount[f.flash.Config().BlockOf(ppa)]++
-	f.stats.HostPageWrites++
-	f.stats.NandPagewrites++
+	f.cHostWrites.Inc()
+	f.cNandWrites.Inc()
+	// The histogram includes any inline GC pause — the tail-latency
+	// effect the paper attributes to fsync-heavy logging.
+	f.hWrite.Observe(sim.Duration(f.env.Now() - start))
 	return nil
 }
 
@@ -307,7 +333,7 @@ func (f *FTL) ReadPage(p *sim.Proc, lba LBA) ([]byte, error) {
 	if err := f.checkLBA(lba); err != nil {
 		return nil, err
 	}
-	f.stats.HostPageReads++
+	f.cHostReads.Inc()
 	ppa, ok := f.l2p[lba]
 	if !ok {
 		return make([]byte, f.PageSize()), nil
@@ -338,6 +364,21 @@ func (f *FTL) maybeGC(p *sim.Proc) error {
 	}
 	f.gcLock.Acquire(p)
 	defer f.gcLock.Release()
+	if len(f.free) > f.cfg.GCFreeTarget {
+		// Another process collected while we waited on the lock.
+		return nil
+	}
+	start := f.env.Now()
+	sp := f.o.Tracer().Begin("ftl.gc", "ftl", "gc")
+	err := f.collect(p)
+	sp.End()
+	f.hGCPause.Observe(sim.Duration(f.env.Now() - start))
+	return err
+}
+
+// collect runs greedy reclamation until the pool is above target.
+// Called with gcLock held.
+func (f *FTL) collect(p *sim.Proc) error {
 	fc := f.flash.Config()
 	for len(f.free) <= f.cfg.GCFreeTarget {
 		victim, ok := f.pickVictim()
@@ -347,7 +388,7 @@ func (f *FTL) maybeGC(p *sim.Proc) error {
 			}
 			return nil // nothing reclaimable; still have some room
 		}
-		f.stats.GCRuns++
+		f.cGCRuns.Inc()
 		base := uint64(victim) * uint64(fc.PagesPerBlock)
 		for pg := 0; pg < fc.PagesPerBlock; pg++ {
 			ppa := nand.PPA(base + uint64(pg))
@@ -375,8 +416,8 @@ func (f *FTL) maybeGC(p *sim.Proc) error {
 			f.l2p[lba] = dst
 			f.p2l[dst] = lba
 			f.validCount[fc.BlockOf(dst)]++
-			f.stats.GCRelocations++
-			f.stats.NandPagewrites++
+			f.cGCReloc.Inc()
+			f.cNandWrites.Inc()
 		}
 		if err := f.flash.EraseBlock(p, victim); err != nil {
 			// Worn out: block retired, not returned to the pool.

@@ -66,6 +66,9 @@ func (h *H) Observe(d sim.Duration) {
 // N returns the sample count.
 func (h *H) N() uint64 { return h.n }
 
+// Sum returns the total of all samples.
+func (h *H) Sum() sim.Duration { return h.sum }
+
 // Mean returns the average sample.
 func (h *H) Mean() sim.Duration {
 	if h.n == 0 {
@@ -74,13 +77,24 @@ func (h *H) Mean() sim.Duration {
 	return h.sum / sim.Duration(h.n)
 }
 
-// Min and Max return the extreme samples.
-func (h *H) Min() sim.Duration { return h.min }
+// Min returns the smallest sample, or 0 on an empty histogram.
+func (h *H) Min() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
 
-// Max returns the largest sample.
-func (h *H) Max() sim.Duration { return h.max }
+// Max returns the largest sample, or 0 on an empty histogram.
+func (h *H) Max() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
 
 // Quantile returns an approximation of the q-quantile (0 < q <= 1).
+// An empty histogram reports 0 for every quantile.
 func (h *H) Quantile(q float64) sim.Duration {
 	if h.n == 0 {
 		return 0
@@ -122,19 +136,25 @@ func (h *H) P99() sim.Duration { return h.Quantile(0.99) }
 // P999 returns the 99.9th percentile.
 func (h *H) P999() sim.Duration { return h.Quantile(0.999) }
 
-// Merge folds other into h.
+// Merge folds other into h. Merging an empty histogram (or nil) is a
+// no-op; merging into an empty one copies the extremes, so min/max stay
+// correct whichever side is empty.
 func (h *H) Merge(other *H) {
-	if other.n == 0 {
+	if other == nil || other.n == 0 {
 		return
 	}
 	for i, c := range other.counts {
 		h.counts[i] += c
 	}
-	if h.n == 0 || other.min < h.min {
-		h.min = other.min
-	}
-	if other.max > h.max {
-		h.max = other.max
+	if h.n == 0 {
+		h.min, h.max = other.min, other.max
+	} else {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
 	}
 	h.n += other.n
 	h.sum += other.sum

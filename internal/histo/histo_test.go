@@ -15,6 +15,15 @@ func TestEmpty(t *testing.T) {
 	if h.N() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
 		t.Fatal("empty histogram not zero")
 	}
+	if h.Min() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty extremes: min=%v max=%v sum=%v", h.Min(), h.Max(), h.Sum())
+	}
+	// Every quantile, including the clamped edges, is 0 when empty.
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("Quantile(%v) = %v on empty", q, v)
+		}
+	}
 	if h.String() != "histo{empty}" {
 		t.Fatalf("String = %q", h.String())
 	}
@@ -86,6 +95,45 @@ func TestMerge(t *testing.T) {
 	a.Merge(&empty) // no-op
 	if a.N() != n {
 		t.Fatal("merging empty changed n")
+	}
+	if a.Min() != 1 || a.Max() != 2000 {
+		t.Fatalf("merging empty changed range to [%v,%v]", a.Min(), a.Max())
+	}
+	a.Merge(nil) // also a no-op
+	if a.N() != n {
+		t.Fatal("merging nil changed n")
+	}
+}
+
+// Merge must combine min/max correctly when either side is empty — the
+// registry aggregation path merges many histograms, some untouched.
+func TestMergeEmptySides(t *testing.T) {
+	var src H
+	src.Observe(500)
+	src.Observe(9000)
+
+	// Empty destination adopts the source extremes (the zero-valued
+	// min/max of the empty side must not win).
+	var dst H
+	dst.Merge(&src)
+	if dst.N() != 2 || dst.Min() != 500 || dst.Max() != 9000 || dst.Sum() != 9500 {
+		t.Fatalf("empty-dst merge: n=%d min=%v max=%v sum=%v",
+			dst.N(), dst.Min(), dst.Max(), dst.Sum())
+	}
+	if dst.Quantile(1) != 9000 {
+		t.Fatalf("merged p100 = %v", dst.Quantile(1))
+	}
+
+	// Both sides empty stays empty and well-defined.
+	var a, b H
+	a.Merge(&b)
+	if a.N() != 0 || a.Min() != 0 || a.Max() != 0 || a.Quantile(0.99) != 0 {
+		t.Fatalf("empty-empty merge: %s", a.String())
+	}
+
+	// A merged-into histogram keeps exact sums for Mean.
+	if dst.Mean() != 4750 {
+		t.Fatalf("merged mean = %v", dst.Mean())
 	}
 }
 

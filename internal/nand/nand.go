@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 
+	"twobssd/internal/histo"
+	"twobssd/internal/obs"
 	"twobssd/internal/sim"
 )
 
@@ -129,7 +131,9 @@ type blockState struct {
 	bad        bool
 }
 
-// Stats aggregates operation counters for the flash array.
+// Stats aggregates operation counters for the flash array. The values
+// are sourced from the environment's obs registry (metric names
+// "nand.*"), so this snapshot and a metrics report can never disagree.
 type Stats struct {
 	PageReads    uint64
 	PagePrograms uint64
@@ -146,7 +150,14 @@ type Flash struct {
 	dies     []*sim.Resource
 	blocks   []blockState
 	data     map[PPA][]byte
-	stats    Stats
+
+	o        *obs.Set
+	chTrack  []string // precomputed trace track names (no per-op fmt)
+	dieTrack []string
+
+	cReads, cPrograms, cErases *obs.Counter
+	cBytesRead, cBytesWritten  *obs.Counter
+	hRead, hProgram, hErase    *histo.H
 }
 
 // New creates a flash array. It panics on an invalid configuration
@@ -160,21 +171,56 @@ func New(env *sim.Env, cfg Config) *Flash {
 		cfg:    cfg,
 		blocks: make([]blockState, cfg.Blocks()),
 		data:   make(map[PPA][]byte),
+		o:      obs.Of(env),
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		f.channels = append(f.channels, env.NewResource(fmt.Sprintf("nand.ch%d", i), 1))
+		f.chTrack = append(f.chTrack, fmt.Sprintf("nand.ch%02d", i))
 	}
 	for i := 0; i < cfg.Dies(); i++ {
 		f.dies = append(f.dies, env.NewResource(fmt.Sprintf("nand.die%d", i), 1))
+		f.dieTrack = append(f.dieTrack, fmt.Sprintf("nand.die%02d", i))
 	}
+	reg := f.o.Registry()
+	f.cReads = reg.Counter("nand.page_reads")
+	f.cPrograms = reg.Counter("nand.page_programs")
+	f.cErases = reg.Counter("nand.block_erases")
+	f.cBytesRead = reg.Counter("nand.bytes_read")
+	f.cBytesWritten = reg.Counter("nand.bytes_written")
+	f.hRead = reg.Histo("nand.read_ns")
+	f.hProgram = reg.Histo("nand.program_ns")
+	f.hErase = reg.Histo("nand.erase_ns")
+	reg.GaugeFunc("nand.die_busy_frac", func() float64 { return busyFrac(env, f.dies) })
+	reg.GaugeFunc("nand.chan_busy_frac", func() float64 { return busyFrac(env, f.channels) })
 	return f
+}
+
+// busyFrac is the mean fraction of elapsed virtual time the given
+// resources were held — die/channel occupancy for the metrics report.
+func busyFrac(env *sim.Env, rs []*sim.Resource) float64 {
+	if env.Now() == 0 || len(rs) == 0 {
+		return 0
+	}
+	var busy sim.Duration
+	for _, r := range rs {
+		busy += r.Busy()
+	}
+	return float64(busy) / (float64(env.Now()) * float64(len(rs)))
 }
 
 // Config returns the geometry/timing configuration.
 func (f *Flash) Config() Config { return f.cfg }
 
 // Stats returns a copy of the operation counters.
-func (f *Flash) Stats() Stats { return f.stats }
+func (f *Flash) Stats() Stats {
+	return Stats{
+		PageReads:    f.cReads.Value(),
+		PagePrograms: f.cPrograms.Value(),
+		BlockErases:  f.cErases.Value(),
+		BytesRead:    f.cBytesRead.Value(),
+		BytesWritten: f.cBytesWritten.Value(),
+	}
+}
 
 func (f *Flash) checkPPA(ppa PPA) error {
 	if uint64(ppa) >= uint64(f.cfg.Pages()) {
@@ -192,10 +238,23 @@ func (f *Flash) ReadPage(p *sim.Proc, ppa PPA) ([]byte, error) {
 	}
 	die := f.cfg.DieOf(ppa)
 	ch := f.cfg.ChannelOf(die)
-	f.dies[die].Use(p, f.cfg.ReadLatency)
-	f.channels[ch].Use(p, f.cfg.TransferTime(f.cfg.PageSize))
-	f.stats.PageReads++
-	f.stats.BytesRead += uint64(f.cfg.PageSize)
+	start := f.env.Now()
+	tr := f.o.Tracer()
+	// Spans cover only the hold (the die/channel occupancy); the
+	// histogram covers the whole op including queueing.
+	f.dies[die].Acquire(p)
+	sp := tr.Begin(f.dieTrack[die], "nand", "tR")
+	p.Sleep(f.cfg.ReadLatency)
+	sp.End()
+	f.dies[die].Release()
+	f.channels[ch].Acquire(p)
+	sp = tr.Begin(f.chTrack[ch], "nand", "xfer_out")
+	p.Sleep(f.cfg.TransferTime(f.cfg.PageSize))
+	sp.End()
+	f.channels[ch].Release()
+	f.cReads.Inc()
+	f.cBytesRead.Add(uint64(f.cfg.PageSize))
+	f.hRead.Observe(sim.Duration(f.env.Now() - start))
 	out := make([]byte, f.cfg.PageSize)
 	copy(out, f.data[ppa])
 	return out, nil
@@ -221,14 +280,25 @@ func (f *Flash) ProgramPage(p *sim.Proc, ppa PPA, data []byte) error {
 			ErrNotErased, f.cfg.BlockOf(ppa), page, blk.nextPage)
 	}
 	ch := f.cfg.ChannelOf(die)
-	f.channels[ch].Use(p, f.cfg.TransferTime(f.cfg.PageSize))
-	f.dies[die].Use(p, f.cfg.ProgramLatency)
+	start := f.env.Now()
+	tr := f.o.Tracer()
+	f.channels[ch].Acquire(p)
+	sp := tr.Begin(f.chTrack[ch], "nand", "xfer_in")
+	p.Sleep(f.cfg.TransferTime(f.cfg.PageSize))
+	sp.End()
+	f.channels[ch].Release()
+	f.dies[die].Acquire(p)
+	sp = tr.Begin(f.dieTrack[die], "nand", "tPROG")
+	p.Sleep(f.cfg.ProgramLatency)
+	sp.End()
+	f.dies[die].Release()
 	blk.nextPage++
 	stored := make([]byte, f.cfg.PageSize)
 	copy(stored, data)
 	f.data[ppa] = stored
-	f.stats.PagePrograms++
-	f.stats.BytesWritten += uint64(f.cfg.PageSize)
+	f.cPrograms.Inc()
+	f.cBytesWritten.Add(uint64(f.cfg.PageSize))
+	f.hProgram.Observe(sim.Duration(f.env.Now() - start))
 	return nil
 }
 
@@ -244,10 +314,16 @@ func (f *Flash) EraseBlock(p *sim.Proc, blk BlockID) error {
 		return ErrBadBlock
 	}
 	die := int(uint64(blk) / uint64(f.cfg.BlocksPerDie))
-	f.dies[die].Use(p, f.cfg.EraseLatency)
+	start := f.env.Now()
+	f.dies[die].Acquire(p)
+	sp := f.o.Tracer().Begin(f.dieTrack[die], "nand", "tERASE")
+	p.Sleep(f.cfg.EraseLatency)
+	sp.End()
+	f.dies[die].Release()
 	bs.eraseCount++
 	bs.nextPage = 0
-	f.stats.BlockErases++
+	f.cErases.Inc()
+	f.hErase.Observe(sim.Duration(f.env.Now() - start))
 	base := PPA(uint64(blk) * uint64(f.cfg.PagesPerBlock))
 	for i := 0; i < f.cfg.PagesPerBlock; i++ {
 		delete(f.data, base+PPA(i))

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"io"
+	"sync"
+
+	"twobssd/internal/sim"
+)
+
+// Collector aggregates the observability sets of every environment
+// created while it is installed. A paper experiment typically builds
+// many environments (one per data point, one per device under
+// comparison); the collector is how `bench2b -metrics/-trace` turns all
+// of them into one metrics report and one Chrome trace in which each
+// environment is a separate trace process.
+//
+// The mutex guards only registration (Of is called at component
+// construction time); the per-event hot paths stay lock-free inside
+// each single-threaded environment.
+type Collector struct {
+	mu      sync.Mutex
+	tracing bool
+	prev    func(*Set)
+	sets    []*Set
+}
+
+// NewCollector returns a collector; with tracing true, every collected
+// environment gets span tracing enabled at creation.
+func NewCollector(tracing bool) *Collector {
+	return &Collector{tracing: tracing}
+}
+
+// Install hooks the collector into OnNewSet so every subsequently
+// created environment is collected. It chains to any previously
+// installed hook; Uninstall restores it.
+func (c *Collector) Install() {
+	c.prev = OnNewSet
+	OnNewSet = func(s *Set) {
+		c.Collect(s)
+		if c.prev != nil {
+			c.prev(s)
+		}
+	}
+}
+
+// Uninstall restores the previous OnNewSet hook.
+func (c *Collector) Uninstall() { OnNewSet = c.prev }
+
+// Collect registers one set explicitly (for environments created before
+// Install, or in tests).
+func (c *Collector) Collect(s *Set) {
+	if c.tracing {
+		s.EnableTracing()
+	}
+	c.mu.Lock()
+	c.sets = append(c.sets, s)
+	c.mu.Unlock()
+}
+
+// Sets returns the collected sets in creation order.
+func (c *Collector) Sets() []*Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Set(nil), c.sets...)
+}
+
+// MergedSnapshot folds every collected registry into one snapshot.
+// Counters and histograms aggregate across environments; the stamp is
+// the total virtual time simulated (the sum of every environment's
+// clock).
+func (c *Collector) MergedSnapshot() Snapshot {
+	merged := NewRegistry()
+	var total sim.Time
+	for _, s := range c.Sets() {
+		s.Registry().MergeInto(merged)
+		total += s.Env().Now()
+	}
+	return merged.SnapshotAt(total)
+}
+
+// WriteMetricsJSON writes the merged metrics snapshot as JSON.
+func (c *Collector) WriteMetricsJSON(w io.Writer) error {
+	return c.MergedSnapshot().WriteJSON(w)
+}
+
+// WriteTraceJSON writes one Chrome trace combining every collected
+// environment's tracer (environments without tracing are skipped).
+func (c *Collector) WriteTraceJSON(w io.Writer) error {
+	var parts []TracePart
+	for _, s := range c.Sets() {
+		if s.Tracer() != nil {
+			parts = append(parts, TracePart{Tracer: s.Tracer()})
+		}
+	}
+	return WriteTraceJSON(w, parts)
+}

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 
+	"twobssd/internal/histo"
+	"twobssd/internal/obs"
 	"twobssd/internal/sim"
 )
 
@@ -86,11 +88,15 @@ type Window struct {
 	// arrival order (oldest first). Lost on power failure.
 	pending []burst
 
-	// Stats
-	writes, reads, syncs uint64
-	bytesWrit, bytesRead uint64
-	wcEvictions, wvReads uint64
-	committedBytes       uint64
+	// Metrics ("pcie.*" in the obs registry — Stats() reads them back,
+	// so the MMIO report and this API agree by construction).
+	o                       *obs.Set
+	cWrites, cReads, cSyncs *obs.Counter
+	cBytesWrit, cBytesRead  *obs.Counter
+	cEvictions, cWVReads    *obs.Counter
+	hWrite, hRead, hSync    *histo.H
+
+	committedBytes uint64
 }
 
 type burst struct {
@@ -104,7 +110,20 @@ func NewWindow(env *sim.Env, cfg Config, mem []byte) *Window {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Window{env: env, cfg: cfg, mem: mem}
+	w := &Window{env: env, cfg: cfg, mem: mem, o: obs.Of(env)}
+	reg := w.o.Registry()
+	w.cWrites = reg.Counter("pcie.mmio_writes")
+	w.cReads = reg.Counter("pcie.mmio_reads")
+	w.cSyncs = reg.Counter("pcie.syncs")
+	w.cBytesWrit = reg.Counter("pcie.bytes_written")
+	w.cBytesRead = reg.Counter("pcie.bytes_read")
+	w.cEvictions = reg.Counter("pcie.wc_evictions")
+	w.cWVReads = reg.Counter("pcie.write_verify_reads")
+	w.hWrite = reg.Histo("pcie.mmio_write_ns")
+	w.hRead = reg.Histo("pcie.mmio_read_ns")
+	w.hSync = reg.Histo("pcie.sync_ns")
+	reg.GaugeFunc("pcie.pending_bursts", func() float64 { return float64(len(w.pending)) })
+	return w
 }
 
 // Size returns the window length in bytes.
@@ -135,7 +154,11 @@ func (w *Window) Write(p *sim.Proc, off int, data []byte) error {
 	firstLine := off / bs
 	lastLine := (off + len(data) - 1) / bs
 	bursts := lastLine - firstLine + 1
-	p.Sleep(w.cfg.WriteBase + sim.Duration(bursts-1)*w.cfg.WritePerBurst)
+	d := w.cfg.WriteBase + sim.Duration(bursts-1)*w.cfg.WritePerBurst
+	sp := w.o.Tracer().Begin("pcie.mmio", "pcie", "mmio_write")
+	p.Sleep(d)
+	sp.End()
+	w.hWrite.Observe(d)
 
 	// Stage per-burst copies.
 	for line := firstLine; line <= lastLine; line++ {
@@ -155,10 +178,10 @@ func (w *Window) Write(p *sim.Proc, off int, data []byte) error {
 	for len(w.pending) > w.cfg.WCBufferBursts {
 		w.commitBurst(w.pending[0])
 		w.pending = w.pending[1:]
-		w.wcEvictions++
+		w.cEvictions.Inc()
 	}
-	w.writes++
-	w.bytesWrit += uint64(len(data))
+	w.cWrites.Inc()
+	w.cBytesWrit.Add(uint64(len(data)))
 	return nil
 }
 
@@ -177,10 +200,14 @@ func (w *Window) Read(p *sim.Proc, off int, buf []byte) error {
 	}
 	w.drainPending()
 	tx := (len(buf) + w.cfg.ReadTxBytes - 1) / w.cfg.ReadTxBytes
-	p.Sleep(w.cfg.ReadBase + sim.Duration(tx)*w.cfg.ReadPerTx)
+	d := w.cfg.ReadBase + sim.Duration(tx)*w.cfg.ReadPerTx
+	sp := w.o.Tracer().Begin("pcie.mmio", "pcie", "mmio_read")
+	p.Sleep(d)
+	sp.End()
+	w.hRead.Observe(d)
 	copy(buf, w.mem[off:off+len(buf)])
-	w.reads++
-	w.bytesRead += uint64(len(buf))
+	w.cReads.Inc()
+	w.cBytesRead.Add(uint64(len(buf)))
 	return nil
 }
 
@@ -205,10 +232,14 @@ func (w *Window) Sync(p *sim.Proc, off, n int) error {
 	if n > 0 {
 		lines = (off+n-1)/bs - off/bs + 1
 	}
-	p.Sleep(w.cfg.SyncBase + sim.Duration(lines)*w.cfg.SyncPerLine)
+	d := w.cfg.SyncBase + sim.Duration(lines)*w.cfg.SyncPerLine
+	sp := w.o.Tracer().Begin("pcie.mmio", "pcie", "sync")
+	p.Sleep(d)
+	sp.End()
+	w.hSync.Observe(d)
 	w.drainPending()
-	w.wvReads++
-	w.syncs++
+	w.cWVReads.Inc()
+	w.cSyncs.Inc()
 	return nil
 }
 
@@ -231,11 +262,12 @@ type Stats struct {
 	WCEvictions, VerifyReads uint64
 }
 
-// Stats returns a snapshot of the window counters.
+// Stats returns a snapshot of the window counters (sourced from the
+// obs registry's "pcie.*" metrics).
 func (w *Window) Stats() Stats {
 	return Stats{
-		Writes: w.writes, Reads: w.reads, Syncs: w.syncs,
-		BytesWritten: w.bytesWrit, BytesRead: w.bytesRead,
-		WCEvictions: w.wcEvictions, VerifyReads: w.wvReads,
+		Writes: w.cWrites.Value(), Reads: w.cReads.Value(), Syncs: w.cSyncs.Value(),
+		BytesWritten: w.cBytesWrit.Value(), BytesRead: w.cBytesRead.Value(),
+		WCEvictions: w.cEvictions.Value(), VerifyReads: w.cWVReads.Value(),
 	}
 }

@@ -93,7 +93,22 @@ type Env struct {
 	blocked map[*Proc]string
 	nlive   int
 	running bool
+
+	// attachment is an opaque per-environment slot for the
+	// observability layer (internal/obs hangs its metrics registry and
+	// span tracer here); sim itself never inspects it. Keeping the hook
+	// on Env lets every component reach the same registry through the
+	// env it was constructed with, with no globals and no locking — the
+	// kernel is single-threaded by construction.
+	attachment interface{}
 }
+
+// SetAttachment stores an opaque value on the environment (used by the
+// observability layer). It replaces any previous attachment.
+func (e *Env) SetAttachment(v interface{}) { e.attachment = v }
+
+// Attachment returns the value stored with SetAttachment, or nil.
+func (e *Env) Attachment() interface{} { return e.attachment }
 
 type parkMsg struct {
 	exited *Proc // non-nil when the process function returned
@@ -345,6 +360,17 @@ func (r *Resource) QueueLen() int { return len(r.waiters) }
 // Stats reports acquisition counters for the resource.
 func (r *Resource) Stats() (acquires, waited uint64, waitTotal, busyTotal Duration) {
 	return r.acquires, r.waited, r.waitTotal, r.busyTotal
+}
+
+// Busy reports the cumulative time the resource has been non-idle,
+// including a still-open busy period — the numerator of an occupancy
+// gauge sampled mid-run.
+func (r *Resource) Busy() Duration {
+	b := r.busyTotal
+	if r.inUse > 0 {
+		b += Duration(r.env.now - r.lastBusy)
+	}
+	return b
 }
 
 // Signal is a broadcast condition. Waiters park until Fire; Fire wakes

@@ -34,6 +34,8 @@ import (
 
 	"twobssd/internal/core"
 	"twobssd/internal/ftl"
+	"twobssd/internal/histo"
+	"twobssd/internal/obs"
 	"twobssd/internal/sim"
 	"twobssd/internal/vfs"
 )
@@ -170,7 +172,13 @@ type Log struct {
 	// BA-mode state.
 	halves []*half
 
-	stats Stats
+	// Metrics ("wal.*" in the obs registry; Stats() reads them back —
+	// CommitTime is the commit-latency histogram's exact sum).
+	o                  *obs.Set
+	cAppends, cCommits *obs.Counter
+	cFlushes           *obs.Counter
+	cBytes, cPadBytes  *obs.Counter
+	hCommit            *histo.H
 }
 
 // Open builds a log over cfg. The file is assumed fresh or previously
@@ -216,7 +224,15 @@ func Open(env *sim.Env, cfg Config) (*Log, error) {
 		ps:      int(ps),
 		mu:      env.NewResource("wal.mu", 1),
 		flushed: env.NewSignal("wal.flushed"),
+		o:       obs.Of(env),
 	}
+	reg := l.o.Registry()
+	l.cAppends = reg.Counter("wal.appends")
+	l.cCommits = reg.Counter("wal.commits")
+	l.cFlushes = reg.Counter("wal.flushes")
+	l.cBytes = reg.Counter("wal.bytes_appended")
+	l.cPadBytes = reg.Counter("wal.pad_bytes")
+	l.hCommit = reg.Histo("wal.commit_ns")
 	if cfg.Mode == BA || cfg.Mode == PMR {
 		n := 1
 		if cfg.DoubleBuffer {
@@ -240,8 +256,16 @@ func Open(env *sim.Env, cfg Config) (*Log, error) {
 // Mode returns the commit mode.
 func (l *Log) Mode() CommitMode { return l.cfg.Mode }
 
-// Stats returns a snapshot of counters.
-func (l *Log) Stats() Stats { return l.stats }
+// Stats returns a snapshot of counters (sourced from the obs registry's
+// "wal.*" metrics; CommitTime is the "wal.commit_ns" histogram sum).
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends: l.cAppends.Value(), Commits: l.cCommits.Value(),
+		Flushes:       l.cFlushes.Value(),
+		BytesAppended: l.cBytes.Value(), PadBytes: l.cPadBytes.Value(),
+		CommitTime: l.hCommit.Sum(),
+	}
+}
 
 // AppendOff returns the current end of the log stream.
 func (l *Log) AppendOff() int64 { return l.appendOff }
@@ -306,8 +330,8 @@ func (l *Log) Append(p *sim.Proc, payload []byte) (LSN, error) {
 	} else {
 		copy(l.stage[pos:], rec)
 	}
-	l.stats.Appends++
-	l.stats.BytesAppended += uint64(need)
+	l.cAppends.Inc()
+	l.cBytes.Add(uint64(need))
 	return LSN(pos + int64(need)), nil
 }
 
@@ -318,7 +342,7 @@ func (l *Log) pad(p *sim.Proc, to int64) error {
 	if gap <= 0 {
 		return nil
 	}
-	l.stats.PadBytes += uint64(gap)
+	l.cPadBytes.Add(uint64(gap))
 	if gap >= 4 {
 		marker := []byte{0xFF, 0xFF, 0xFF, 0xFF}
 		if l.cfg.Mode == BA || l.cfg.Mode == PMR {
@@ -398,6 +422,8 @@ func (l *Log) flushHalf(p *sim.Proc, h *half) error {
 	if h.seg < 0 {
 		return nil
 	}
+	sp := l.o.Tracer().BeginProc(p, "wal", "flush_half")
+	defer sp.End()
 	if l.cfg.Mode == PMR {
 		if err := l.cfg.SSD.Mmio().Sync(p, h.bufOff, l.cfg.SegmentBytes); err != nil {
 			return err
@@ -414,7 +440,7 @@ func (l *Log) flushHalf(p *sim.Proc, h *half) error {
 			return err
 		}
 		h.seg = -1
-		l.stats.Flushes++
+		l.cFlushes.Inc()
 		return nil
 	}
 	if err := l.cfg.SSD.BASync(p, h.eid); err != nil {
@@ -424,16 +450,18 @@ func (l *Log) flushHalf(p *sim.Proc, h *half) error {
 		return err
 	}
 	h.seg = -1
-	l.stats.Flushes++
+	l.cFlushes.Inc()
 	return nil
 }
 
 // Commit makes the log durable up to lsn according to the mode.
 func (l *Log) Commit(p *sim.Proc, lsn LSN) error {
 	start := l.env.Now()
+	sp := l.o.Tracer().BeginProc(p, "wal", "commit")
 	defer func() {
-		l.stats.Commits++
-		l.stats.CommitTime += sim.Duration(l.env.Now() - start)
+		sp.End()
+		l.cCommits.Inc()
+		l.hCommit.Observe(sim.Duration(l.env.Now() - start))
 	}()
 	switch l.cfg.Mode {
 	case Async:
@@ -538,7 +566,7 @@ func (l *Log) flushBlock(p *sim.Proc) error {
 	if err := l.cfg.File.Sync(p); err != nil {
 		return err
 	}
-	l.stats.Flushes++
+	l.cFlushes.Inc()
 	l.flushedOff = flushTo
 	if l.cfg.Mode != PM && flushTo > l.durableOff {
 		l.durableOff = flushTo

@@ -28,6 +28,7 @@ import (
 	"twobssd/internal/core"
 	"twobssd/internal/device"
 	"twobssd/internal/ftl"
+	"twobssd/internal/obs"
 	"twobssd/internal/sim"
 	"twobssd/internal/vfs"
 	"twobssd/internal/wal"
@@ -142,3 +143,38 @@ const (
 
 // OpenWAL opens a write-ahead log.
 func OpenWAL(env *Env, cfg WALConfig) (*WAL, error) { return wal.Open(env, cfg) }
+
+// Observability.
+type (
+	// Observability is one environment's metrics registry plus (when
+	// enabled) its virtual-time span tracer.
+	Observability = obs.Set
+	// MetricsRegistry holds named counters, gauges and latency
+	// histograms; every stack component registers its series here.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a stable JSON/text-serializable registry view.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer records virtual-time spans and exports Chrome trace-event
+	// JSON (Perfetto). A nil *Tracer is the zero-overhead disabled path.
+	Tracer = obs.Tracer
+	// ObsCollector aggregates metrics and traces across environments.
+	ObsCollector = obs.Collector
+)
+
+// Observe returns the environment's observability set. Metrics are
+// always live; call EnableTracing on the result (before building the
+// stack) to record spans:
+//
+//	o := twobssd.Observe(env)
+//	o.EnableTracing()
+//	ssd := twobssd.New(env, twobssd.DefaultConfig())
+//	// ... run workload ...
+//	o.Snapshot().WriteText(os.Stdout)
+//	o.Tracer().WriteJSON(traceFile)
+func Observe(env *Env) *Observability { return obs.Of(env) }
+
+// NewObsCollector returns a collector that, once Install()ed, captures
+// every environment the process subsequently creates — how bench2b's
+// -metrics/-trace flags observe experiments that build many
+// environments internally.
+func NewObsCollector(tracing bool) *ObsCollector { return obs.NewCollector(tracing) }
