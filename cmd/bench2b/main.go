@@ -3,108 +3,168 @@
 //
 // Usage:
 //
-//	bench2b [-full] [-metrics m.json] [-trace out.trace.json] [experiment ...]
+//	bench2b [-full] [-j N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [experiment ...]
 //
 // Experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf
-// mixed recovery probe ablations all (default: all).
+// mixed recovery tail smallread pmr journal qd probe ablations all
+// (default: all).
+//
+// -j fans the independent simulation environments behind each
+// experiment data point — and the experiments themselves — out across N
+// workers (default: the number of CPUs). Every environment's virtual
+// clock is its own; results and reports are bit-identical at any -j.
 //
 // -metrics writes a merged snapshot of every counter, gauge and latency
 // histogram the run's environments recorded. -trace writes Chrome
 // trace-event JSON of the virtual-time spans (open in Perfetto or
 // chrome://tracing); each simulated environment is one trace process.
+//
+// -benchjson records the wall-clock performance of the simulator itself
+// — events/sec, allocs/event, per-experiment wall time — so kernel
+// speedups and regressions are measured run over run, not asserted.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"twobssd/internal/bench"
 	"twobssd/internal/obs"
 )
 
+// experiment is one runnable paper artifact; run writes its tables to w.
+type experiment struct {
+	id  string
+	run func(w io.Writer)
+}
+
+// experiments returns the full artifact list in canonical print order.
+func experiments(scale bench.Scale) []experiment {
+	return []experiment{
+		{"tab1", func(w io.Writer) { bench.Spec().Print(w) }},
+		{"fig7a", func(w io.Writer) { bench.Fig7a(scale).Print(w) }},
+		{"fig7b", func(w io.Writer) { bench.Fig7b(scale).Print(w) }},
+		{"fig8a", func(w io.Writer) { bench.Fig8a(scale).Print(w) }},
+		{"fig8b", func(w io.Writer) { bench.Fig8b(scale).Print(w) }},
+		{"fig9", func(w io.Writer) {
+			bench.Fig9PG(scale).Print(w)
+			bench.Fig9LSM(scale).Print(w)
+			bench.Fig9AOF(scale).Print(w)
+		}},
+		{"fig10", func(w io.Writer) { bench.Fig10(scale).Print(w) }},
+		{"commit", func(w io.Writer) { bench.CommitOverhead(scale).Print(w) }},
+		{"waf", func(w io.Writer) { bench.WAFReduction(scale).Print(w) }},
+		{"mixed", func(w io.Writer) { bench.MixedWorkload(scale).Print(w) }},
+		{"recovery", func(w io.Writer) { bench.Recovery(scale).Print(w) }},
+		{"tail", func(w io.Writer) { bench.TailLatency(scale).Print(w) }},
+		{"smallread", func(w io.Writer) { bench.SmallRead(scale).Print(w) }},
+		{"pmr", func(w io.Writer) { bench.PMRComparison(scale).Print(w) }},
+		{"journal", func(w io.Writer) { bench.Journaling(scale).Print(w) }},
+		{"qd", func(w io.Writer) { bench.QueueDepth(scale).Print(w) }},
+		{"probe", func(w io.Writer) { bench.Probe(scale).Print(w) }},
+		{"ablations", func(w io.Writer) {
+			bench.AblationWriteCombining(scale).Print(w)
+			bench.AblationDoubleBuffering(scale).Print(w)
+			bench.AblationGroupCommit(scale).Print(w)
+		}},
+	}
+}
+
+// expReport is one experiment's wall-clock cost in the -benchjson
+// report. Under -j > 1 experiments overlap, so their wall times can sum
+// past the run's total.
+type expReport struct {
+	ID     string `json:"id"`
+	WallNs int64  `json:"wall_ns"`
+}
+
+// kernelReport is the -benchjson wall-clock performance record.
+type kernelReport struct {
+	Schema         string      `json:"schema"`
+	Scale          string      `json:"scale"`
+	GoVersion      string      `json:"go_version"`
+	NumCPU         int         `json:"num_cpu"`
+	Jobs           int         `json:"jobs"`
+	Experiments    []expReport `json:"experiments"`
+	WallNs         int64       `json:"wall_ns"`
+	VirtualNs      int64       `json:"virtual_ns"`
+	Events         uint64      `json:"events"`
+	EventsPerSec   float64     `json:"events_per_sec"`
+	AllocsPerEvent float64     `json:"allocs_per_event"`
+}
+
 func main() {
 	full := flag.Bool("full", false, "run at full scale (slower, closer to the paper's run lengths)")
+	jobs := flag.Int("j", runtime.NumCPU(), "experiment worker parallelism (results identical at any value)")
 	metricsPath := flag.String("metrics", "", "write merged metrics snapshot JSON to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	benchPath := flag.String("benchjson", "", "write wall-clock kernel benchmark JSON to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-metrics m.json] [-trace out.trace.json] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd probe ablations all\n")
 	}
 	flag.Parse()
-	scale := bench.Quick
+	scale, scaleName := bench.Quick, "quick"
 	if *full {
-		scale = bench.Full
+		scale, scaleName = bench.Full, "full"
 	}
+	bench.SetJobs(*jobs)
 
 	// Open the report files before running anything: a bad path should
 	// fail now, not after minutes of experiments.
 	var col *obs.Collector
-	var metricsFile, traceFile *os.File
-	if *metricsPath != "" || *tracePath != "" {
+	var metricsFile, traceFile, benchFile *os.File
+	if *metricsPath != "" || *tracePath != "" || *benchPath != "" {
 		if *metricsPath != "" {
 			metricsFile = createReport(*metricsPath)
 		}
 		if *tracePath != "" {
 			traceFile = createReport(*tracePath)
 		}
+		if *benchPath != "" {
+			benchFile = createReport(*benchPath)
+		}
 		col = obs.NewCollector(traceFile != nil)
 		col.Install()
 	}
 
+	all := experiments(scale)
+	byID := make(map[string]experiment, len(all))
+	for _, ex := range all {
+		byID[ex.id] = ex
+	}
+	var selected []experiment
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
-
-	runners := map[string]func(){
-		"tab1":  func() { bench.Spec().Print(os.Stdout) },
-		"fig7a": func() { bench.Fig7a(scale).Print(os.Stdout) },
-		"fig7b": func() { bench.Fig7b(scale).Print(os.Stdout) },
-		"fig8a": func() { bench.Fig8a(scale).Print(os.Stdout) },
-		"fig8b": func() { bench.Fig8b(scale).Print(os.Stdout) },
-		"fig9": func() {
-			bench.Fig9PG(scale).Print(os.Stdout)
-			bench.Fig9LSM(scale).Print(os.Stdout)
-			bench.Fig9AOF(scale).Print(os.Stdout)
-		},
-		"fig10":     func() { bench.Fig10(scale).Print(os.Stdout) },
-		"commit":    func() { bench.CommitOverhead(scale).Print(os.Stdout) },
-		"waf":       func() { bench.WAFReduction(scale).Print(os.Stdout) },
-		"mixed":     func() { bench.MixedWorkload(scale).Print(os.Stdout) },
-		"recovery":  func() { bench.Recovery(scale).Print(os.Stdout) },
-		"tail":      func() { bench.TailLatency(scale).Print(os.Stdout) },
-		"smallread": func() { bench.SmallRead(scale).Print(os.Stdout) },
-		"pmr":       func() { bench.PMRComparison(scale).Print(os.Stdout) },
-		"journal":   func() { bench.Journaling(scale).Print(os.Stdout) },
-		"qd":        func() { bench.QueueDepth(scale).Print(os.Stdout) },
-		"probe":     func() { bench.Probe(scale).Print(os.Stdout) },
-		"ablations": func() {
-			bench.AblationWriteCombining(scale).Print(os.Stdout)
-			bench.AblationDoubleBuffering(scale).Print(os.Stdout)
-			bench.AblationGroupCommit(scale).Print(os.Stdout)
-		},
-	}
-	order := []string{"tab1", "fig7a", "fig7b", "fig8a", "fig8b", "fig9",
-		"fig10", "commit", "waf", "mixed", "recovery", "tail", "smallread",
-		"pmr", "journal", "qd", "probe", "ablations"}
-
 	for _, arg := range args {
 		if arg == "all" {
-			for _, id := range order {
-				runners[id]()
-			}
+			selected = append(selected, all...)
 			continue
 		}
-		run, ok := runners[arg]
+		ex, ok := byID[arg]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "bench2b: unknown experiment %q\n", arg)
 			flag.Usage()
 			os.Exit(2)
 		}
-		run()
+		selected = append(selected, ex)
 	}
+
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	walls := runAll(selected, *jobs)
+	wallTotal := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 
 	if col != nil {
 		col.Uninstall()
@@ -114,7 +174,72 @@ func main() {
 		if traceFile != nil {
 			writeReport(traceFile, col.WriteTraceJSON)
 		}
+		if benchFile != nil {
+			rep := kernelReport{
+				Schema:    "bench2b/kernel-v1",
+				Scale:     scaleName,
+				GoVersion: runtime.Version(),
+				NumCPU:    runtime.NumCPU(),
+				Jobs:      *jobs,
+				WallNs:    wallTotal.Nanoseconds(),
+				VirtualNs: int64(col.TotalVirtual()),
+				Events:    col.TotalEvents(),
+			}
+			for i, ex := range selected {
+				rep.Experiments = append(rep.Experiments, expReport{ID: ex.id, WallNs: walls[i].Nanoseconds()})
+			}
+			if rep.Events > 0 {
+				rep.EventsPerSec = float64(rep.Events) / wallTotal.Seconds()
+				rep.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(rep.Events)
+			}
+			writeReport(benchFile, func(w io.Writer) error {
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				return enc.Encode(rep)
+			})
+		}
 	}
+}
+
+// runAll executes the selected experiments and streams their output to
+// stdout in selection order. At -j 1 everything runs sequentially on
+// this goroutine (the legacy behavior); otherwise experiments run
+// concurrently, each into its own buffer, and buffers are printed as
+// their turn comes — output order never depends on scheduling. Returns
+// each experiment's wall time.
+func runAll(selected []experiment, jobs int) []time.Duration {
+	walls := make([]time.Duration, len(selected))
+	if jobs <= 1 || len(selected) == 1 {
+		for i, ex := range selected {
+			t0 := time.Now()
+			ex.run(os.Stdout)
+			walls[i] = time.Since(t0)
+		}
+		return walls
+	}
+	type slot struct {
+		buf  bytes.Buffer
+		done chan struct{}
+	}
+	slots := make([]*slot, len(selected))
+	for i, ex := range selected {
+		i, ex := i, ex
+		slots[i] = &slot{done: make(chan struct{})}
+		go func() {
+			defer close(slots[i].done)
+			t0 := time.Now()
+			ex.run(&slots[i].buf)
+			walls[i] = time.Since(t0)
+		}()
+	}
+	for _, s := range slots {
+		<-s.done
+		if _, err := io.Copy(os.Stdout, &s.buf); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2b: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return walls
 }
 
 func createReport(path string) *os.File {

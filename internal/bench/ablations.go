@@ -27,10 +27,17 @@ func AblationWriteCombining(s Scale) *Table {
 		cfg.MMIO = mm
 		return core.New(e, cfg)
 	}
-	for _, size := range []int{64, 256, 1024, 4096} {
-		on := mmioWriteWith(SSD2B, size, s.LatReps)
-		off := mmioWriteWith(noWC, size, s.LatReps)
-		t.AddRow(sizeLabel(size), on.Micros(), off.Micros())
+	sizes := []int{64, 256, 1024, 4096}
+	// One point per (size, WC on/off) cell.
+	cells := points(len(sizes)*2, func(i int) sim.Duration {
+		mk := SSD2B
+		if i%2 == 1 {
+			mk = noWC
+		}
+		return mmioWriteWith(mk, sizes[i/2], s.LatReps)
+	})
+	for si, size := range sizes {
+		t.AddRow(sizeLabel(size), cells[2*si].Micros(), cells[2*si+1].Micros())
 	}
 	return t
 }
@@ -105,8 +112,9 @@ func AblationDoubleBuffering(s Scale) *Table {
 		st.env.Run()
 		return elapsed
 	}
-	t.AddRow("double buffer", run(true).Micros())
-	t.AddRow("single buffer", run(false).Micros())
+	vals := points(2, func(i int) sim.Duration { return run(i == 0) })
+	t.AddRow("double buffer", vals[0].Micros())
+	t.AddRow("single buffer", vals[1].Micros())
 	return t
 }
 
@@ -151,9 +159,10 @@ func AblationGroupCommit(s Scale) *Table {
 		return float64(stats.Commits) / elapsed.Seconds(),
 			float64(stats.Flushes) / float64(stats.Commits)
 	}
-	for _, clients := range []int{1, 4, 16} {
-		tput, fpc := run(clients)
-		t.AddRow(strconv.Itoa(clients), tput, fpc)
-	}
+	counts := []int{1, 4, 16}
+	t.Rows = points(len(counts), func(i int) Row {
+		tput, fpc := run(counts[i])
+		return Row{X: strconv.Itoa(counts[i]), Vals: []float64{tput, fpc}}
+	})
 	return t
 }

@@ -72,11 +72,12 @@ func TailLatency(s Scale) *Table {
 		st.env.Run()
 		return h
 	}
-	for _, cfg := range []LogDevice{LogDC, LogULL, Log2B} {
-		h := run(cfg)
-		t.AddRow(cfg.String(), h.Mean().Micros(), h.P50().Micros(),
-			h.P99().Micros(), h.P999().Micros(), h.Max().Micros())
-	}
+	cfgs := []LogDevice{LogDC, LogULL, Log2B}
+	t.Rows = points(len(cfgs), func(i int) Row {
+		h := run(cfgs[i])
+		return Row{X: cfgs[i].String(), Vals: []float64{h.Mean().Micros(), h.P50().Micros(),
+			h.P99().Micros(), h.P999().Micros(), h.Max().Micros()}}
+	})
 	return t
 }
 
@@ -213,10 +214,15 @@ func PMRComparison(s Scale) *Table {
 		return float64(l.Stats().Commits) / elapsed.Seconds(),
 			float64(hostBytes) / float64(appended)
 	}
-	baTput, baHost := run(wal.BA)
-	pmrTput, pmrHost := run(wal.PMR)
-	t.AddRow("2B-SSD (BA-WAL)", baTput, baHost)
-	t.AddRow("PMR device", pmrTput, pmrHost)
+	modes := []wal.CommitMode{wal.BA, wal.PMR}
+	t.Rows = points(len(modes), func(i int) Row {
+		tput, host := run(modes[i])
+		x := "2B-SSD (BA-WAL)"
+		if modes[i] == wal.PMR {
+			x = "PMR device"
+		}
+		return Row{X: x, Vals: []float64{tput, host}}
+	})
 	return t
 }
 
@@ -288,10 +294,11 @@ func Journaling(s Scale) *Table {
 		return float64(txns) / elapsed.Seconds(),
 			float64(elapsed.Micros()) / float64(txns)
 	}
-	for _, cfg := range []LogDevice{LogDC, LogULL, Log2B} {
-		tput, avg := run(cfg)
-		t.AddRow(cfg.String(), tput, avg)
-	}
+	cfgs := []LogDevice{LogDC, LogULL, Log2B}
+	t.Rows = points(len(cfgs), func(i int) Row {
+		tput, avg := run(cfgs[i])
+		return Row{X: cfgs[i].String(), Vals: []float64{tput, avg}}
+	})
 	return t
 }
 
@@ -341,8 +348,17 @@ func QueueDepth(s Scale) *Table {
 		total := float64(qd * perWorker)
 		return total / sim.Duration(lastDone).Seconds() / 1e3
 	}
-	for _, qd := range []int{1, 2, 4, 8, 16, 32} {
-		t.AddRow(fmt.Sprintf("%d", qd), run(DC, qd), run(ULL, qd))
+	qds := []int{1, 2, 4, 8, 16, 32}
+	// One point per (queue depth, device) cell.
+	cells := points(len(qds)*2, func(i int) float64 {
+		mk := DC
+		if i%2 == 1 {
+			mk = ULL
+		}
+		return run(mk, qds[i/2])
+	})
+	for qi, qd := range qds {
+		t.AddRow(fmt.Sprintf("%d", qd), cells[2*qi], cells[2*qi+1])
 	}
 	return t
 }

@@ -35,13 +35,14 @@ func Fig7a(s Scale) *Table {
 			"readDMA beats plain MMIO from ~2KB (paper: 2.6x at 4KB).",
 		},
 	}
-	for _, size := range latSizes {
+	t.Rows = points(len(latSizes), func(i int) Row {
+		size := latSizes[i]
 		dc := fio.BlockReadLatency(DC, size, s.LatReps)
 		ull := fio.BlockReadLatency(ULL, size, s.LatReps)
 		mmio := fio.MMIOReadLatency(SSD2B, size, s.LatReps, false)
 		dma := fio.MMIOReadLatency(SSD2B, size, s.LatReps, true)
-		t.AddRow(sizeLabel(size), dc.Micros(), ull.Micros(), mmio.Micros(), dma.Micros())
-	}
+		return Row{X: sizeLabel(size), Vals: []float64{dc.Micros(), ull.Micros(), mmio.Micros(), dma.Micros()}}
+	})
 	return t
 }
 
@@ -57,13 +58,14 @@ func Fig7b(s Scale) *Table {
 			"persistent MMIO +15% small, +47% at 4KB, still under ULL's 10us.",
 		},
 	}
-	for _, size := range latSizes {
+	t.Rows = points(len(latSizes), func(i int) Row {
+		size := latSizes[i]
 		dc := fio.BlockWriteLatency(DC, size, s.LatReps)
 		ull := fio.BlockWriteLatency(ULL, size, s.LatReps)
 		mmio := fio.MMIOWriteLatency(SSD2B, size, s.LatReps, false)
 		pmmio := fio.MMIOWriteLatency(SSD2B, size, s.LatReps, true)
-		t.AddRow(sizeLabel(size), dc.Micros(), ull.Micros(), mmio.Micros(), pmmio.Micros())
-	}
+		return Row{X: sizeLabel(size), Vals: []float64{dc.Micros(), ull.Micros(), mmio.Micros(), pmmio.Micros()}}
+	})
 	return t
 }
 
@@ -79,12 +81,13 @@ func Fig8a(s Scale) *Table {
 			"~1GB/s below ULL at >=4MB; DC approaches 2B at large sizes.",
 		},
 	}
-	for _, size := range bwSizes {
+	t.Rows = points(len(bwSizes), func(i int) Row {
+		size := bwSizes[i]
 		dc := fio.BlockBandwidth(DC, size, false)
 		ull := fio.BlockBandwidth(ULL, size, false)
 		internal := fio.InternalBandwidth(SSD2B, size, false)
-		t.AddRow(sizeLabel(size), dc, ull, internal)
-	}
+		return Row{X: sizeLabel(size), Vals: []float64{dc, ull, internal}}
+	})
 	return t
 }
 
@@ -100,11 +103,12 @@ func Fig8b(s Scale) *Table {
 			"DC by ~700MB/s at >=4MB (2.2 vs 1.5 GB/s).",
 		},
 	}
-	for _, size := range bwSizes {
+	t.Rows = points(len(bwSizes), func(i int) Row {
+		size := bwSizes[i]
 		dc := fio.BlockBandwidth(DC, size, true)
 		ull := fio.BlockBandwidth(ULL, size, true)
 		internal := fio.InternalBandwidth(SSD2B, size, true)
-		t.AddRow(sizeLabel(size), dc, ull, internal)
-	}
+		return Row{X: sizeLabel(size), Vals: []float64{dc, ull, internal}}
+	})
 	return t
 }

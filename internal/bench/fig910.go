@@ -77,10 +77,9 @@ func Fig9PG(s Scale) *Table {
 			"expected shape: 2B-SSD 1.2-2.8x over DC-SSD, 75-95% of ASYNC.",
 		},
 	}
-	var vals []float64
-	for _, cfg := range fig9Configs {
-		vals = append(vals, runPGLinkbench(cfg, s))
-	}
+	vals := points(len(fig9Configs), func(i int) float64 {
+		return runPGLinkbench(fig9Configs[i], s)
+	})
 	t.AddRow("linkbench", vals...)
 	return t
 }
@@ -98,12 +97,13 @@ func fig9KV(engine, id, title string, s Scale) *Table {
 			"only what is needed; block WAL writes a 4KB page regardless).",
 		},
 	}
-	for _, payload := range fig9Payloads {
-		var vals []float64
-		for _, cfg := range fig9Configs {
-			vals = append(vals, runYCSB(engine, cfg, payload, s))
-		}
-		t.AddRow(fmt.Sprintf("%dB", payload), vals...)
+	// One point per (payload, config) cell of the sweep grid.
+	nc := len(fig9Configs)
+	cells := points(len(fig9Payloads)*nc, func(i int) float64 {
+		return runYCSB(engine, fig9Configs[i%nc], fig9Payloads[i/nc], s)
+	})
+	for pi, payload := range fig9Payloads {
+		t.AddRow(fmt.Sprintf("%dB", payload), cells[pi*nc:(pi+1)*nc]...)
 	}
 	return t
 }
@@ -131,10 +131,12 @@ func Fig10(s Scale) *Table {
 			"other (the paper: PM+DC -0.6%, PM+ULL +0.4% vs baseline).",
 		},
 	}
-	base := runPGLinkbench(Log2B, s)
+	cfgs := []LogDevice{Log2B, LogPMULL, LogPMDC, LogAsync}
+	vals := points(len(cfgs), func(i int) float64 { return runPGLinkbench(cfgs[i], s) })
+	base := vals[0]
 	t.AddRow("2B-SSD (base)", 1.0)
-	t.AddRow("PM+ULL-SSD", runPGLinkbench(LogPMULL, s)/base)
-	t.AddRow("PM+DC-SSD", runPGLinkbench(LogPMDC, s)/base)
-	t.AddRow("ASYNC", runPGLinkbench(LogAsync, s)/base)
+	t.AddRow("PM+ULL-SSD", vals[1]/base)
+	t.AddRow("PM+DC-SSD", vals[2]/base)
+	t.AddRow("ASYNC", vals[3]/base)
 	return t
 }

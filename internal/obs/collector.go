@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 
 	"twobssd/internal/sim"
@@ -14,9 +16,11 @@ import (
 // of them into one metrics report and one Chrome trace in which each
 // environment is a separate trace process.
 //
-// The mutex guards only registration (Of is called at component
-// construction time); the per-event hot paths stay lock-free inside
-// each single-threaded environment.
+// The mutex guards registration: with the parallel experiment runner
+// (bench2b -j), environments are created concurrently from many worker
+// goroutines. The per-event hot paths stay lock-free inside each
+// single-threaded environment; only the Collect call at environment
+// construction synchronizes.
 type Collector struct {
 	mu      sync.Mutex
 	tracing bool
@@ -47,7 +51,8 @@ func (c *Collector) Install() {
 func (c *Collector) Uninstall() { OnNewSet = c.prev }
 
 // Collect registers one set explicitly (for environments created before
-// Install, or in tests).
+// Install, or in tests). Safe to call from concurrent experiment
+// workers.
 func (c *Collector) Collect(s *Set) {
 	if c.tracing {
 		s.EnableTracing()
@@ -57,25 +62,80 @@ func (c *Collector) Collect(s *Set) {
 	c.mu.Unlock()
 }
 
-// Sets returns the collected sets in creation order.
+// Sets returns the collected sets in collection order. Under the
+// parallel runner that order depends on goroutine scheduling; use
+// sortedSets (via MergedSnapshot / WriteTraceJSON) for deterministic
+// reports.
 func (c *Collector) Sets() []*Set {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]*Set(nil), c.sets...)
 }
 
+// sortedSets returns the collected sets in a deterministic order
+// independent of collection (hence goroutine-scheduling) order: sets
+// sort by their canonical snapshot JSON. encoding/json emits map keys
+// sorted, so the key is canonical; two sets can tie only when their
+// snapshots are byte-identical, in which case their contributions to
+// any fold are identical too and the tie order cannot matter.
+func (c *Collector) sortedSets() []*Set {
+	sets := c.Sets()
+	keys := make([]string, len(sets))
+	for i, s := range sets {
+		b, err := json.Marshal(s.Snapshot())
+		if err != nil {
+			// Snapshot marshaling cannot fail (plain maps of numbers);
+			// fall back to collection order rather than dropping data.
+			return sets
+		}
+		keys[i] = string(b)
+	}
+	idx := make([]int, len(sets))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]*Set, len(sets))
+	for i, j := range idx {
+		out[i] = sets[j]
+	}
+	return out
+}
+
 // MergedSnapshot folds every collected registry into one snapshot.
 // Counters and histograms aggregate across environments; the stamp is
 // the total virtual time simulated (the sum of every environment's
-// clock).
+// clock). The fold visits sets in sorted order, so the result is
+// bit-identical no matter how experiment workers were scheduled.
 func (c *Collector) MergedSnapshot() Snapshot {
 	merged := NewRegistry()
 	var total sim.Time
-	for _, s := range c.Sets() {
+	for _, s := range c.sortedSets() {
 		s.Registry().MergeInto(merged)
 		total += s.Env().Now()
 	}
 	return merged.SnapshotAt(total)
+}
+
+// TotalEvents sums the dispatched-event counts of every collected
+// environment — the denominator of the benchmark harness's events/sec
+// and allocs/event figures.
+func (c *Collector) TotalEvents() uint64 {
+	var n uint64
+	for _, s := range c.Sets() {
+		n += s.Env().Events()
+	}
+	return n
+}
+
+// TotalVirtual sums every collected environment's clock: the total
+// virtual time the run simulated.
+func (c *Collector) TotalVirtual() sim.Time {
+	var t sim.Time
+	for _, s := range c.Sets() {
+		t += s.Env().Now()
+	}
+	return t
 }
 
 // WriteMetricsJSON writes the merged metrics snapshot as JSON.
@@ -84,10 +144,11 @@ func (c *Collector) WriteMetricsJSON(w io.Writer) error {
 }
 
 // WriteTraceJSON writes one Chrome trace combining every collected
-// environment's tracer (environments without tracing are skipped).
+// environment's tracer (environments without tracing are skipped),
+// in the same deterministic set order as MergedSnapshot.
 func (c *Collector) WriteTraceJSON(w io.Writer) error {
 	var parts []TracePart
-	for _, s := range c.Sets() {
+	for _, s := range c.sortedSets() {
 		if s.Tracer() != nil {
 			parts = append(parts, TracePart{Tracer: s.Tracer()})
 		}

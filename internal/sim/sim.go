@@ -14,10 +14,32 @@
 //   - Resource:   a counted resource with a FIFO wait queue (dies,
 //     channels, mutexes are Resources of capacity 1..n).
 //   - Signal:     a broadcast condition processes can park on.
+//
+// # Hot path
+//
+// The kernel is the simulator's wall-clock bottleneck, so its event loop
+// is built around three optimizations that change nothing about the
+// virtual-time semantics (events still execute in strict (at, seq)
+// order, FIFO among simultaneous events):
+//
+//   - Direct handoff: a parking process pops the next event itself and
+//     resumes its owner directly, instead of bouncing control through a
+//     central scheduler goroutine. One goroutine switch per event
+//     instead of two — and when the next event belongs to the parking
+//     process itself (a lone process sleeping in a loop, the common case
+//     in latency sweeps), no switch at all.
+//   - Split event queue: events for the current instant go to a FIFO
+//     ready ring (O(1) push/pop); only events in the future enter a
+//     value-typed 4-ary min-heap. Neither path boxes events into
+//     interface{} the way container/heap does, so steady-state
+//     scheduling does not allocate.
+//   - Allocation-free parking: Resource/Signal wait labels are
+//     precomputed, the blocked-process set is an index-linked slice
+//     rather than a map, and FIFO queues reclaim their heads with a
+//     cursor instead of re-slicing (which would pin the backing array).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -62,44 +84,44 @@ type event struct {
 	proc *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (at, seq): time first, FIFO among
+// simultaneous events.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Env is a simulation environment: a virtual clock plus an event queue.
 // Create one with NewEnv, start processes with Go, then call Run.
 type Env struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	parked chan parkMsg
-	// blocked tracks processes parked on a Resource or Signal (no
-	// scheduled event); used for deadlock diagnosis.
-	blocked map[*Proc]string
-	nlive   int
-	running bool
+	now Time
+	seq uint64
 
-	// attachment is an opaque per-environment slot for the
-	// observability layer (internal/obs hangs its metrics registry and
-	// span tracer here); sim itself never inspects it. Keeping the hook
-	// on Env lets every component reach the same registry through the
-	// env it was constructed with, with no globals and no locking — the
-	// kernel is single-threaded by construction.
+	// heap holds pending events scheduled past the current instant: a
+	// value-typed 4-ary min-heap on (at, seq). ring holds events for the
+	// current instant in FIFO order (their seqs are necessarily newer
+	// than any same-instant event still in the heap, which was scheduled
+	// before the clock reached this instant).
+	heap     []event
+	ring     []event
+	ringHead int
+
+	// runq wakes the goroutine parked in Run when the event queue
+	// drains or a process faults.
+	runq      chan struct{}
+	fault     interface{}
+	faultProc *Proc
+
+	// blocked tracks processes parked on a Resource or Signal (no
+	// scheduled event); used for deadlock diagnosis. Each Proc remembers
+	// its own index for O(1) swap-removal.
+	blocked []*Proc
+
+	nlive     int
+	running   bool
+	nevents   uint64
 	attachment interface{}
 }
 
@@ -108,23 +130,26 @@ type Env struct {
 func (e *Env) SetAttachment(v interface{}) { e.attachment = v }
 
 // Attachment returns the value stored with SetAttachment, or nil.
+// The attachment is an opaque per-environment slot for the
+// observability layer (internal/obs hangs its metrics registry and span
+// tracer here); sim itself never inspects it. Keeping the hook on Env
+// lets every component reach the same registry through the env it was
+// constructed with, with no globals and no locking — the kernel is
+// single-threaded by construction.
 func (e *Env) Attachment() interface{} { return e.attachment }
-
-type parkMsg struct {
-	exited *Proc // non-nil when the process function returned
-	fault  interface{}
-}
 
 // NewEnv returns an environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{
-		parked:  make(chan parkMsg),
-		blocked: make(map[*Proc]string),
-	}
+	return &Env{runq: make(chan struct{}, 1)}
 }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// Events reports the number of events the environment has executed so
+// far. The wall-clock benchmark harness (bench2b -benchjson) divides
+// this by real elapsed time for an events/sec figure of merit.
+func (e *Env) Events() uint64 { return e.nevents }
 
 // Proc is a simulation process. A Proc must only be used from the
 // goroutine running its body function.
@@ -133,6 +158,10 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	daemon bool
+
+	// Deadlock-diagnosis state while parked on a Resource or Signal.
+	blockedOn string
+	blockIdx  int
 }
 
 // Env returns the environment this process belongs to.
@@ -145,18 +174,7 @@ func (p *Proc) Name() string { return p.name }
 // reaches it; the initial resume is scheduled at the current time.
 // Go may be called before Run or from inside a running process.
 func (e *Env) Go(name string, body func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
-	e.nlive++
-	go func() {
-		<-p.resume
-		defer func() {
-			r := recover()
-			e.parked <- parkMsg{exited: p, fault: r}
-		}()
-		body(p)
-	}()
-	e.schedule(p, e.now)
-	return p
+	return e.GoAt(e.now, name, body)
 }
 
 // GoDaemon starts a background service process. A daemon parked on a
@@ -174,23 +192,131 @@ func (e *Env) GoAt(t Time, name string, body func(p *Proc)) *Proc {
 	if t < e.now {
 		t = e.now
 	}
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p := &Proc{env: e, name: name, resume: make(chan struct{}, 1)}
 	e.nlive++
-	go func() {
-		<-p.resume
-		defer func() {
-			r := recover()
-			e.parked <- parkMsg{exited: p, fault: r}
-		}()
-		body(p)
-	}()
+	go p.main(body)
 	e.schedule(p, t)
 	return p
 }
 
+// main is the goroutine body of every process: wait for the first
+// resume, run, then hand control onward (or surface a fault).
+func (p *Proc) main(body func(*Proc)) {
+	<-p.resume
+	defer p.exit()
+	body(p)
+}
+
+// exit leaves the simulation: on a clean return it dispatches the next
+// event; on a panic it records the fault and wakes Run, which re-panics
+// on the caller's goroutine.
+func (p *Proc) exit() {
+	e := p.env
+	e.nlive--
+	if r := recover(); r != nil {
+		e.fault = r
+		e.faultProc = p
+		e.runq <- struct{}{}
+		return
+	}
+	if np, ok := e.next(); ok {
+		np.resume <- struct{}{}
+	} else {
+		e.runq <- struct{}{}
+	}
+}
+
 func (e *Env) schedule(p *Proc, at Time) {
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+	ev := event{at: at, seq: e.seq, proc: p}
+	if at == e.now {
+		e.ring = append(e.ring, ev)
+	} else {
+		e.heapPush(ev)
+	}
+}
+
+// next pops the earliest pending event in (at, seq) order, advances the
+// clock to it, and returns its process. Ring events always carry the
+// current instant; a heap event at the current instant predates every
+// ring event (it was scheduled before the clock got here), so it wins
+// the tie.
+func (e *Env) next() (*Proc, bool) {
+	hasRing := e.ringHead < len(e.ring)
+	var ev event
+	switch {
+	case hasRing && len(e.heap) > 0 && e.heap[0].at <= e.now:
+		ev = e.heapPop()
+	case hasRing:
+		ev = e.ring[e.ringHead]
+		e.ring[e.ringHead].proc = nil
+		e.ringHead++
+		if e.ringHead == len(e.ring) {
+			e.ring = e.ring[:0]
+			e.ringHead = 0
+		}
+	case len(e.heap) > 0:
+		ev = e.heapPop()
+	default:
+		return nil, false
+	}
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	e.nevents++
+	return ev.proc, true
+}
+
+// heapPush inserts into the 4-ary min-heap (sift up).
+func (e *Env) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// heapPop removes the minimum from the 4-ary min-heap (sift down).
+func (e *Env) heapPop() event {
+	h := e.heap
+	top := h[0]
+	last := h[len(h)-1]
+	h[len(h)-1].proc = nil
+	h = h[:len(h)-1]
+	if len(h) > 0 {
+		i := 0
+		for {
+			c0 := i*4 + 1
+			if c0 >= len(h) {
+				break
+			}
+			m := c0
+			cEnd := c0 + 4
+			if cEnd > len(h) {
+				cEnd = len(h)
+			}
+			for c := c0 + 1; c < cEnd; c++ {
+				if eventLess(h[c], h[m]) {
+					m = c
+				}
+			}
+			if !eventLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	e.heap = h
+	return top
 }
 
 // Run executes events until the queue drains and all processes have
@@ -203,29 +329,23 @@ func (e *Env) Run() {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
-		if ev.at < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.at
-		ev.proc.resume <- struct{}{}
-		msg := <-e.parked
-		if msg.exited != nil {
-			e.nlive--
-			if msg.fault != nil {
-				panic(fmt.Sprintf("sim: process %q faulted: %v", msg.exited.name, msg.fault))
-			}
+	if np, ok := e.next(); ok {
+		np.resume <- struct{}{}
+		<-e.runq
+		if e.fault != nil {
+			f, fp := e.fault, e.faultProc
+			e.fault, e.faultProc = nil, nil
+			panic(fmt.Sprintf("sim: process %q faulted: %v", fp.name, f))
 		}
 	}
 	if e.nlive > 0 {
 		names := make([]string, 0, len(e.blocked))
 		stuck := false
-		for p, what := range e.blocked {
+		for _, p := range e.blocked {
 			if !p.daemon {
 				stuck = true
 			}
-			names = append(names, p.name+" ("+what+")")
+			names = append(names, p.name+" ("+p.blockedOn+")")
 		}
 		if stuck {
 			sort.Strings(names)
@@ -234,9 +354,20 @@ func (e *Env) Run() {
 	}
 }
 
-// park yields control to the scheduler and blocks until resumed.
+// park yields control to the scheduler and blocks until resumed. The
+// parking process dispatches the next event itself: either it is its
+// own (continue inline, no goroutine switch), or it belongs to another
+// process (direct handoff), or the queue is empty (wake Run).
 func (p *Proc) park() {
-	p.env.parked <- parkMsg{}
+	e := p.env
+	if np, ok := e.next(); ok {
+		if np == p {
+			return
+		}
+		np.resume <- struct{}{}
+	} else {
+		e.runq <- struct{}{}
+	}
 	<-p.resume
 }
 
@@ -254,11 +385,21 @@ func (p *Proc) Sleep(d Duration) {
 func (p *Proc) Yield() { p.Sleep(0) }
 
 // block parks the process with no scheduled event; some other process
-// must unblock it. what describes the wait for deadlock diagnostics.
+// must unblock it. what describes the wait for deadlock diagnostics
+// (callers pass a precomputed label so parking does not allocate).
 func (p *Proc) block(what string) {
-	p.env.blocked[p] = what
+	e := p.env
+	p.blockedOn = what
+	p.blockIdx = len(e.blocked)
+	e.blocked = append(e.blocked, p)
 	p.park()
-	delete(p.env.blocked, p)
+	last := len(e.blocked) - 1
+	moved := e.blocked[last]
+	e.blocked[p.blockIdx] = moved
+	moved.blockIdx = p.blockIdx
+	e.blocked[last] = nil
+	e.blocked = e.blocked[:last]
+	p.blockedOn = ""
 }
 
 // unblock schedules a blocked process to resume at the current instant.
@@ -270,9 +411,11 @@ func (e *Env) unblock(p *Proc) { e.schedule(p, e.now) }
 type Resource struct {
 	env     *Env
 	name    string
+	label   string // "resource <name>", precomputed for allocation-free parking
 	cap     int
 	inUse   int
 	waiters []*Proc
+	whead   int
 
 	// Stats
 	acquires  uint64
@@ -287,19 +430,19 @@ func (e *Env) NewResource(name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{env: e, name: name, cap: capacity}
+	return &Resource{env: e, name: name, label: "resource " + name, cap: capacity}
 }
 
 // Acquire obtains one unit, waiting FIFO if none is free.
 func (r *Resource) Acquire(p *Proc) {
 	r.acquires++
-	if r.inUse < r.cap && len(r.waiters) == 0 {
+	if r.inUse < r.cap && r.whead == len(r.waiters) {
 		r.grab()
 		return
 	}
 	start := r.env.now
 	r.waiters = append(r.waiters, p)
-	p.block("resource " + r.name)
+	p.block(r.label)
 	// Our unit was reserved for us by Release before unblocking.
 	r.waited++
 	r.waitTotal += Duration(r.env.now - start)
@@ -314,7 +457,7 @@ func (r *Resource) grab() {
 
 // TryAcquire obtains a unit only if one is immediately free.
 func (r *Resource) TryAcquire() bool {
-	if r.inUse < r.cap && len(r.waiters) == 0 {
+	if r.inUse < r.cap && r.whead == len(r.waiters) {
 		r.grab()
 		return true
 	}
@@ -328,10 +471,15 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release of idle resource " + r.name)
 	}
-	if len(r.waiters) > 0 {
+	if r.whead < len(r.waiters) {
 		// Hand off: usage count stays the same, ownership moves.
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+		w := r.waiters[r.whead]
+		r.waiters[r.whead] = nil
+		r.whead++
+		if r.whead == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.whead = 0
+		}
 		r.env.unblock(w)
 		return
 	}
@@ -355,7 +503,7 @@ func (r *Resource) Use(p *Proc, d Duration) Duration {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of processes waiting.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.whead }
 
 // Stats reports acquisition counters for the resource.
 func (r *Resource) Stats() (acquires, waited uint64, waitTotal, busyTotal Duration) {
@@ -379,29 +527,33 @@ func (r *Resource) Busy() Duration {
 type Signal struct {
 	env     *Env
 	name    string
+	label   string // "signal <name>", precomputed for allocation-free parking
 	waiters []*Proc
+	spare   []*Proc // retired waiter slice, reused to avoid re-allocating
 	fires   uint64
 }
 
 // NewSignal creates a named signal.
 func (e *Env) NewSignal(name string) *Signal {
-	return &Signal{env: e, name: name}
+	return &Signal{env: e, name: name, label: "signal " + name}
 }
 
 // Wait parks until the next Fire.
 func (s *Signal) Wait(p *Proc) {
 	s.waiters = append(s.waiters, p)
-	p.block("signal " + s.name)
+	p.block(s.label)
 }
 
 // Fire wakes all current waiters. It is safe to call with no waiters.
 func (s *Signal) Fire() {
 	s.fires++
 	ws := s.waiters
-	s.waiters = nil
-	for _, w := range ws {
+	s.waiters = s.spare[:0]
+	for i, w := range ws {
 		s.env.unblock(w)
+		ws[i] = nil
 	}
+	s.spare = ws[:0]
 }
 
 // Fires reports how many times the signal fired.
@@ -450,6 +602,7 @@ type Queue struct {
 	env    *Env
 	name   string
 	items  []interface{}
+	head   int
 	avail  *Signal
 	closed bool
 }
@@ -475,18 +628,25 @@ func (q *Queue) Close() {
 }
 
 // Get removes the head item, parking until one is available or the
-// queue is closed and drained.
+// queue is closed and drained. The head advances by cursor (the slot is
+// nilled and the buffer recycled once drained) so a long-lived queue
+// neither shifts elements nor pins its backing array.
 func (q *Queue) Get(p *Proc) (interface{}, bool) {
-	for len(q.items) == 0 {
+	for q.head == len(q.items) {
 		if q.closed {
 			return nil, false
 		}
 		q.avail.Wait(p)
 	}
-	it := q.items[0]
-	q.items = q.items[1:]
+	it := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return it, true
 }
 
 // Len reports the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.items) - q.head }

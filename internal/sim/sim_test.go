@@ -402,6 +402,127 @@ func TestRunResumableAfterDrain(t *testing.T) {
 	}
 }
 
+// A sleeper that scheduled its wakeup for instant T before the clock
+// reached T (heap path) must run before a process unblocked at T (ring
+// path): the sleeper's event has the older sequence number.
+func TestHeapEventBeatsRingEventAtSameInstant(t *testing.T) {
+	e := NewEnv()
+	s := e.NewSignal("s")
+	var order []string
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(100) // scheduled at t=0 for t=100: enters the heap
+		order = append(order, "sleeper")
+	})
+	e.Go("waiter", func(p *Proc) {
+		s.Wait(p)
+		order = append(order, "waiter")
+	})
+	e.GoAt(100, "firer", func(p *Proc) {
+		// Fires at t=100: the waiter's resume enters the ready ring with
+		// a newer seq than the sleeper's heap event for the same instant.
+		s.Fire()
+		order = append(order, "firer")
+	})
+	e.Run()
+	// At t=100 the heap holds the firer's start (seq 3) and the
+	// sleeper's wakeup (seq 4); the waiter's unblock (seq 5) enters the
+	// ready ring when Fire runs. FIFO by seq across both structures.
+	want := []string{"firer", "sleeper", "waiter"}
+	for i, w := range want {
+		if i >= len(order) || order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// FIFO order must survive the head-cursor compaction in Resource's
+// waiter queue across many acquire/release cycles.
+func TestResourceFIFOManyWaiters(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 1)
+	const n = 200
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.GoAt(Time(i), "w", func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(1000)
+			r.Release()
+		})
+	}
+	e.Run()
+	if len(order) != n {
+		t.Fatalf("ran %d, want %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want ascending", i, v)
+		}
+	}
+	if r.QueueLen() != 0 {
+		t.Fatalf("queue len = %d, want 0", r.QueueLen())
+	}
+}
+
+// Queue FIFO order must survive interleaved Put/Get around the
+// head-cursor reset.
+func TestQueueFIFOAcrossCompaction(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	var got []int
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			q.Put(i)
+			if i%3 == 0 {
+				p.Sleep(5) // let the consumer drain and reset the head
+			}
+		}
+		q.Close()
+	})
+	e.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	e.Run()
+	if len(got) != 100 {
+		t.Fatalf("got %d items, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want in-order", i, v)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue len = %d, want 0", q.Len())
+	}
+}
+
+// Events counts every executed event, across repeated Runs.
+func TestEventsCounter(t *testing.T) {
+	e := NewEnv()
+	e.Go("a", func(p *Proc) {
+		for i := 0; i < 9; i++ {
+			p.Sleep(10)
+		}
+	})
+	e.Run()
+	// 1 initial resume + 9 sleeps.
+	if e.Events() != 10 {
+		t.Fatalf("events = %d, want 10", e.Events())
+	}
+	e.Go("b", func(p *Proc) { p.Sleep(10) })
+	e.Run()
+	if e.Events() != 12 {
+		t.Fatalf("events after second run = %d, want 12", e.Events())
+	}
+}
+
 func TestQueueCloseUnblocksReceivers(t *testing.T) {
 	e := NewEnv()
 	q := e.NewQueue("q")
