@@ -9,6 +9,14 @@
 // mixed recovery tail smallread pmr journal qd probe ablations all
 // (default: all).
 //
+// Two reliability artifacts run only when named explicitly (they are
+// not part of "all"): "crash" sweeps 128 deterministic power-loss
+// points per workload across every storage engine (640 total) and
+// "crash-smoke" is the 64-point CI variant over lsm + pglite. Both
+// exit non-zero when any crash point violates the durability contract
+// (a committed record lost despite a persisted dump, or a phantom
+// record recovered).
+//
 // -j fans the independent simulation environments behind each
 // experiment data point — and the experiments themselves — out across N
 // workers (default: the number of CPUs). Every environment's virtual
@@ -32,6 +40,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"twobssd/internal/bench"
@@ -76,6 +85,24 @@ func experiments(scale bench.Scale) []experiment {
 	}
 }
 
+// crashExperiments returns the reliability artifacts. They are
+// requested by name, never by "all": a full sweep crash-cycles the
+// simulated device hundreds of times, which is a reliability gate, not
+// a paper figure. A durability violation flips failed so main can exit
+// non-zero after the reports print.
+func crashExperiments(failed *atomic.Bool) []experiment {
+	run := func(w io.Writer, names []string, pointsPer int) {
+		if err := bench.RunCrash(w, names, pointsPer); err != nil {
+			fmt.Fprintf(w, "FAIL: %v\n", err)
+			failed.Store(true)
+		}
+	}
+	return []experiment{
+		{"crash", func(w io.Writer) { run(w, nil, 128) }},
+		{"crash-smoke", func(w io.Writer) { run(w, []string{"lsm", "pglite"}, 32) }},
+	}
+}
+
 // expReport is one experiment's wall-clock cost in the -benchjson
 // report. Under -j > 1 experiments overlap, so their wall times can sum
 // past the run's total.
@@ -108,6 +135,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd probe ablations all\n")
+		fmt.Fprintf(os.Stderr, "reliability (not in \"all\"): crash crash-smoke\n")
 	}
 	flag.Parse()
 	scale, scaleName := bench.Quick, "quick"
@@ -134,9 +162,13 @@ func main() {
 		col.Install()
 	}
 
+	var crashFailed atomic.Bool
 	all := experiments(scale)
 	byID := make(map[string]experiment, len(all))
 	for _, ex := range all {
+		byID[ex.id] = ex
+	}
+	for _, ex := range crashExperiments(&crashFailed) {
 		byID[ex.id] = ex
 	}
 	var selected []experiment
@@ -198,6 +230,10 @@ func main() {
 				return enc.Encode(rep)
 			})
 		}
+	}
+	if crashFailed.Load() {
+		fmt.Fprintln(os.Stderr, "bench2b: crash campaign reported durability violations")
+		os.Exit(1)
 	}
 }
 

@@ -2,12 +2,19 @@
 // commits via the BA-buffer, an abrupt power failure (the capacitor-
 // backed firmware dump), recovery, and a check that every committed
 // transaction survived while un-synced bytes did not.
+//
+// The power failure is scripted through the fault-injection layer: a
+// seeded fault.Plan arms a trigger on the 10th WAL commit, the demo
+// polls the injector at transaction boundaries (the sim cannot kill an
+// in-flight proc), and cuts power when the trigger trips — the same
+// protocol the `bench2b crash` campaigns drive at scale.
 package main
 
 import (
 	"fmt"
 
 	"twobssd/internal/core"
+	"twobssd/internal/fault"
 	"twobssd/internal/sim"
 	"twobssd/internal/vfs"
 	"twobssd/internal/wal"
@@ -15,6 +22,12 @@ import (
 
 func main() {
 	env := sim.NewEnv()
+	// Install must precede the stack build: components cache the
+	// injector at construction time.
+	inj := fault.Install(env, fault.Plan{
+		Seed:      1,
+		PowerLoss: fault.Trigger{On: fault.EvWalCommit, N: 10},
+	})
 	ssd := core.New(env, core.DefaultConfig())
 	fs := vfs.New(ssd.Device())
 
@@ -32,8 +45,9 @@ func main() {
 			panic(err)
 		}
 
-		// Commit 10 transactions.
-		for i := 0; i < 10; i++ {
+		// Commit transactions until the injected power trigger trips
+		// (at the 10th commit, per the plan above).
+		for i := 0; !inj.Tripped(); i++ {
 			lsn, err := log.Append(p, []byte(fmt.Sprintf("txn-%02d: balance += 100", i)))
 			if err != nil {
 				panic(err)
@@ -42,6 +56,7 @@ func main() {
 				panic(err)
 			}
 		}
+		inj.Disarm()
 		// Append one more but do NOT commit: its WC-buffered bytes are
 		// allowed to vanish.
 		if _, err := log.Append(p, []byte("txn-10: UNCOMMITTED")); err != nil {

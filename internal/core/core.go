@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"twobssd/internal/device"
+	"twobssd/internal/fault"
 	"twobssd/internal/ftl"
 	"twobssd/internal/histo"
 	"twobssd/internal/obs"
@@ -57,6 +58,7 @@ var (
 	ErrPinnedRange  = errors.New("2bssd: block I/O gated, LBA range pinned to BA-buffer")
 	ErrPowerIsOff   = errors.New("2bssd: device is powered off")
 	ErrInsufficient = errors.New("2bssd: capacitor energy insufficient for dump")
+	ErrDumpTorn     = errors.New("2bssd: capacitor dump torn (power died mid-dump)")
 	ErrNotPermitted = errors.New("2bssd: OS denied BA_PIN for this LBA range")
 )
 
@@ -85,6 +87,8 @@ type TwoBSSD struct {
 
 	// Metrics ("2bssd.*" in the obs registry; Stats() reads them back).
 	o                           *obs.Set
+	inj                         *fault.Injector
+	gDumpEnergy                 *obs.Gauge
 	cPins, cFlushes, cSyncs     *obs.Counter
 	cInfos, cDMAReads           *obs.Counter
 	cPagesPinned, cPagesFlushed *obs.Counter
@@ -124,8 +128,10 @@ func New(env *sim.Env, cfg Config) *TwoBSSD {
 		arm:     env.NewResource("2bssd.arm", cfg.InternalWorkers),
 		powered: true,
 		o:       obs.Of(env),
+		inj:     fault.Of(env),
 	}
 	reg := s.o.Registry()
+	s.gDumpEnergy = reg.Gauge("2bssd.dump_energy_j")
 	s.cPins = reg.Counter("2bssd.pins")
 	s.cFlushes = reg.Counter("2bssd.flushes")
 	s.cSyncs = reg.Counter("2bssd.syncs")
@@ -337,9 +343,13 @@ func (s *TwoBSSD) internalMove(p *sim.Proc, ent *Entry, write bool) error {
 			off := ent.Offset + i*ps
 			lba := ent.LBA + ftl.LBA(i)
 			if write {
-				if err := s.dev.FTL().WritePage(w, lba, s.babuf[off:off+ps]); err != nil && firstErr == nil {
-					firstErr = err
+				if err := s.dev.FTL().WritePage(w, lba, s.babuf[off:off+ps]); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
 				}
+				s.inj.Tick(fault.EvBAFlushPage)
 				return
 			}
 			data, err := s.dev.FTL().ReadPage(w, lba)

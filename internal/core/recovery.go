@@ -135,12 +135,21 @@ func (s *TwoBSSD) PowerLoss(p *sim.Proc) (DumpReport, error) {
 	if !s.rec.armed {
 		return rep, errors.New("2bssd: dump area not armed")
 	}
-	s.rec.dumpImage(p)
+	derr := s.rec.dumpImage(p)
 	rep.DumpDuration = sim.Duration(s.env.Now() - start)
 	rep.EnergyUsedJ = s.cfg.DumpPowerW * rep.DumpDuration.Seconds()
+	s.gDumpEnergy.Set(rep.EnergyUsedJ)
 
 	s.powered = false
 	s.rec.armed = false
+	if derr != nil {
+		// The dump died mid-flight (injected capacitor cut or a program
+		// failure in the reserved area): the image on NAND is torn and
+		// must never be restored as if it were complete.
+		s.rec.dumpValid = false
+		s.scrambleVolatile()
+		return rep, fmt.Errorf("%w: %v", ErrDumpTorn, derr)
+	}
 	if rep.EnergyUsedJ > rep.EnergyBudgetJ {
 		// The capacitors drained before the dump finished: the image on
 		// NAND is torn and unusable.
@@ -169,7 +178,11 @@ func (s *TwoBSSD) scrambleVolatile() {
 // the reserved blocks. One firmware worker per dump block programs its
 // slice sequentially; blocks sit on distinct dies, so the dump runs
 // die-parallel — that is what makes it fast enough for capacitors.
-func (r *recovery) dumpImage(p *sim.Proc) {
+// A non-nil error means the image on NAND is torn: the injected
+// capacitor cut fired mid-dump (pagesDumped is shared across workers,
+// so the cut lands after an exact global page count), or a program in
+// the reserved area failed.
+func (r *recovery) dumpImage(p *sim.Proc) error {
 	s := r.s
 	ps := s.PageSize()
 	per := r.pagesPerBlock()
@@ -177,6 +190,13 @@ func (r *recovery) dumpImage(p *sim.Proc) {
 	wg := s.env.NewWaitGroup("2bssd.dump")
 	nblocks := len(r.dumpBlocks)
 	wg.Add(nblocks)
+	pagesDumped := 0
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
 	for b := 0; b < nblocks; b++ {
 		b := b
 		s.env.Go(fmt.Sprintf("2bssd.dump%d", b), func(w *sim.Proc) {
@@ -185,19 +205,35 @@ func (r *recovery) dumpImage(p *sim.Proc) {
 			base := nand.PPA(uint64(blk) * uint64(fc.PagesPerBlock))
 			pg := 0
 			for i := b * per; i < (b+1)*per && i < s.BufferPages(); i++ {
-				if err := s.dev.Flash().ProgramPage(w, base+nand.PPA(pg), s.babuf[i*ps:(i+1)*ps]); err != nil {
-					panic(fmt.Sprintf("2bssd: dump program failed: %v", err))
+				if firstErr != nil {
+					return
 				}
+				if s.inj.DumpCut(pagesDumped) {
+					fail(errors.New("capacitors cut mid-dump"))
+					return
+				}
+				if err := s.dev.Flash().ProgramPage(w, base+nand.PPA(pg), s.babuf[i*ps:(i+1)*ps]); err != nil {
+					fail(fmt.Errorf("dump program: %w", err))
+					return
+				}
+				pagesDumped++
 				pg++
 			}
-			if b == 0 {
-				if err := s.dev.Flash().ProgramPage(w, base+nand.PPA(pg), r.encodeMeta()); err != nil {
-					panic(fmt.Sprintf("2bssd: dump meta program failed: %v", err))
+			if b == 0 && firstErr == nil {
+				if s.inj.DumpCut(pagesDumped) {
+					fail(errors.New("capacitors cut before metadata page"))
+					return
 				}
+				if err := s.dev.Flash().ProgramPage(w, base+nand.PPA(pg), r.encodeMeta()); err != nil {
+					fail(fmt.Errorf("dump meta program: %w", err))
+					return
+				}
+				pagesDumped++
 			}
 		})
 	}
 	wg.Wait(p)
+	return firstErr
 }
 
 // PowerOn restores the device after a power failure: it reads the dump
@@ -292,6 +328,13 @@ func (r *recovery) rearm(p *sim.Proc) {
 				return // already erased
 			}
 			if err := s.dev.Flash().EraseBlock(w, blk); err != nil {
+				// An injected erase failure retires a dump block; the
+				// area keeps working at reduced parallelism as long as
+				// enough blocks remain (checked at construction). Real
+				// config errors still panic.
+				if errors.Is(err, nand.ErrEraseFailed) || errors.Is(err, nand.ErrWornOut) {
+					return
+				}
 				panic(fmt.Sprintf("2bssd: rearm erase failed: %v", err))
 			}
 		})

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"twobssd/internal/fault"
 	"twobssd/internal/ftl"
 	"twobssd/internal/histo"
 	"twobssd/internal/nand"
@@ -195,9 +196,10 @@ type Device struct {
 	// back). Track names are precomputed so the disabled-tracer hot
 	// path performs no string building.
 	o                      *obs.Set
+	inj                    *fault.Injector
 	pcieTrack, bufTrack    string
 	cReadCmds, cWriteCmds  *obs.Counter
-	cFlushCmds             *obs.Counter
+	cFlushCmds, cTimeouts  *obs.Counter
 	cPagesRead, cPagesWrit *obs.Counter
 	cGatedRd, cGatedWr     *obs.Counter
 	hReadCmd, hWriteCmd    *histo.H
@@ -225,6 +227,7 @@ func New(env *sim.Env, p Profile) *Device {
 		popOrder:     make(map[ftl.LBA][]uint64),
 		pendingData:  make(map[ftl.LBA][][]byte),
 		o:            obs.Of(env),
+		inj:          fault.Of(env),
 		pcieTrack:    p.Name + ".pcie",
 		bufTrack:     p.Name + ".wbuf",
 	}
@@ -232,6 +235,7 @@ func New(env *sim.Env, p Profile) *Device {
 	d.cReadCmds = reg.Counter(p.Name + ".read_cmds")
 	d.cWriteCmds = reg.Counter(p.Name + ".write_cmds")
 	d.cFlushCmds = reg.Counter(p.Name + ".flush_cmds")
+	d.cTimeouts = reg.Counter(p.Name + ".cmd_timeouts")
 	d.cPagesRead = reg.Counter(p.Name + ".pages_read")
 	d.cPagesWrit = reg.Counter(p.Name + ".pages_written")
 	d.cGatedRd = reg.Counter(p.Name + ".gated_reads")
@@ -291,6 +295,19 @@ func (d *Device) pcieXfer(p *sim.Proc, bytes int) {
 	d.pcie.Release()
 }
 
+// maybeTimeout models injected transient command timeouts: the host
+// driver's timer expires n times, each retry backing off exponentially
+// from the injector's base delay before the command goes through. With
+// no injector installed this is a nil-receiver no-op costing nothing.
+func (d *Device) maybeTimeout(p *sim.Proc) {
+	n, delay := d.inj.Timeouts()
+	for k := 0; k < n; k++ {
+		d.cTimeouts.Inc()
+		d.o.Tracer().Instant(d.profile.Name+".timeout", "device", "cmd_timeout")
+		p.Sleep(delay << uint(k))
+	}
+}
+
 // ReadPages executes one read command of n pages starting at lba and
 // returns the data. Pages are fetched from NAND in parallel (one
 // firmware work item per page) and transferred to the host over the
@@ -309,6 +326,7 @@ func (d *Device) ReadPages(p *sim.Proc, lba ftl.LBA, n int) ([]byte, error) {
 	d.cReadCmds.Inc()
 	start := d.env.Now()
 	cmd := d.o.Tracer().BeginProc(p, "device", "read_cmd")
+	d.maybeTimeout(p)
 	ps := d.PageSize()
 	p.Sleep(d.profile.SubmissionLatency)
 	d.fw.Use(p, d.profile.FwPerCmdCost)
@@ -387,6 +405,7 @@ func (d *Device) WritePages(p *sim.Proc, lba ftl.LBA, data []byte) error {
 	d.cWriteCmds.Inc()
 	start := d.env.Now()
 	cmd := d.o.Tracer().BeginProc(p, "device", "write_cmd")
+	d.maybeTimeout(p)
 	p.Sleep(d.profile.SubmissionLatency)
 	d.fw.Use(p, d.profile.FwPerCmdCost)
 	for i := 0; i < n; i++ {
@@ -424,6 +443,7 @@ func (d *Device) Flush(p *sim.Proc) error {
 	d.cFlushCmds.Inc()
 	start := d.env.Now()
 	cmd := d.o.Tracer().BeginProc(p, "device", "flush_cmd")
+	d.maybeTimeout(p)
 	p.Sleep(d.profile.SubmissionLatency)
 	d.fw.Use(p, d.profile.FwPerCmdCost)
 	p.Sleep(d.profile.CompletionLatency)

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"twobssd/internal/fault"
 	"twobssd/internal/histo"
 	"twobssd/internal/nand"
 	"twobssd/internal/obs"
@@ -92,8 +93,10 @@ type FTL struct {
 	gcLock   *sim.Resource
 
 	o                              *obs.Set
+	inj                            *fault.Injector
 	cHostWrites, cHostReads        *obs.Counter
 	cNandWrites, cGCReloc, cGCRuns *obs.Counter
+	cRetired, cRetireReloc         *obs.Counter
 	hWrite, hGCPause               *histo.H
 }
 
@@ -145,12 +148,15 @@ func New(env *sim.Env, flash *nand.Flash, cfg Config) *FTL {
 		}
 	}
 	f.o = obs.Of(env)
+	f.inj = fault.Of(env)
 	reg := f.o.Registry()
 	f.cHostWrites = reg.Counter("ftl.host_page_writes")
 	f.cHostReads = reg.Counter("ftl.host_page_reads")
 	f.cNandWrites = reg.Counter("ftl.nand_page_writes")
 	f.cGCReloc = reg.Counter("ftl.gc_relocations")
 	f.cGCRuns = reg.Counter("ftl.gc_runs")
+	f.cRetired = reg.Counter("ftl.retired_blocks")
+	f.cRetireReloc = reg.Counter("ftl.retire_relocations")
 	f.hWrite = reg.Histo("ftl.write_ns")
 	f.hGCPause = reg.Histo("ftl.gc_pause_ns")
 	reg.GaugeFunc("ftl.free_blocks", func() float64 { return float64(len(f.free)) })
@@ -171,10 +177,15 @@ func (f *FTL) Config() Config { return f.cfg }
 
 // WearStats summarizes erase wear across the usable blocks — the
 // "SSD lifespan" side of the paper's WAF argument (Section IV-A).
+// RetiredBlocks is a scan of blocks the NAND layer marked bad (worn
+// out, erase failures or explicit retirement); the relocation counts
+// mirror the "ftl.gc_relocations"/"ftl.retire_relocations" metrics.
 type WearStats struct {
 	MinErase, MaxErase int
 	TotalErase         uint64
 	RetiredBlocks      int
+	GCRelocations      uint64 // valid pages moved by garbage collection
+	RetireRelocations  uint64 // valid pages evacuated off retired blocks
 }
 
 // Wear scans the usable blocks and reports erase-cycle statistics.
@@ -202,6 +213,8 @@ func (f *FTL) Wear() WearStats {
 	if w.MinErase == int(^uint(0)>>1) {
 		w.MinErase = 0
 	}
+	w.GCRelocations = f.cGCReloc.Value()
+	w.RetireRelocations = f.cRetireReloc.Value()
 	return w
 }
 
@@ -269,7 +282,11 @@ func (f *FTL) allocPPA(p *sim.Proc, die int) (nand.PPA, error) {
 			}
 			if f.flash.NextPage(blk) != 0 {
 				if err := f.flash.EraseBlock(p, blk); err != nil {
-					// Worn-out or bad block: drop it and retry.
+					// Worn-out, erase-failed or bad block: drop it
+					// and retry with another.
+					if errors.Is(err, nand.ErrWornOut) || errors.Is(err, nand.ErrEraseFailed) {
+						f.cRetired.Inc()
+					}
 					continue
 				}
 			}
@@ -291,44 +308,65 @@ func (f *FTL) invalidate(ppa nand.PPA) {
 }
 
 // WritePage writes one logical page out of place. The data may be
-// shorter than a page (zero padded by the flash layer).
+// shorter than a page (zero padded by the flash layer). A program
+// failure (injected grown defect) retires the block — evacuating its
+// valid pages — and retries on another block, so callers above the FTL
+// never see transient NAND program errors.
 func (f *FTL) WritePage(p *sim.Proc, lba LBA, data []byte) error {
 	if err := f.checkLBA(lba); err != nil {
 		return err
 	}
 	start := f.env.Now()
-	if err := f.maybeGC(p); err != nil {
-		return err
-	}
-	die := f.nextDie
-	f.nextDie = (f.nextDie + 1) % len(f.open)
-	f.dieLocks[die].Acquire(p)
-	ppa, err := f.allocPPA(p, die)
-	if err != nil {
+	for {
+		if err := f.maybeGC(p); err != nil {
+			return err
+		}
+		die := f.nextDie
+		f.nextDie = (f.nextDie + 1) % len(f.open)
+		f.dieLocks[die].Acquire(p)
+		ppa, err := f.allocPPA(p, die)
+		if err != nil {
+			f.dieLocks[die].Release()
+			return err
+		}
+		err = f.flash.ProgramPage(p, ppa, data)
 		f.dieLocks[die].Release()
-		return err
+		if err == nil {
+			if old, ok := f.l2p[lba]; ok {
+				f.invalidate(old)
+			}
+			f.l2p[lba] = ppa
+			f.p2l[ppa] = lba
+			f.validCount[f.flash.Config().BlockOf(ppa)]++
+			f.cHostWrites.Inc()
+			f.cNandWrites.Inc()
+			// The histogram includes any inline GC pause — the
+			// tail-latency effect the paper attributes to fsync-heavy
+			// logging.
+			f.hWrite.Observe(sim.Duration(f.env.Now() - start))
+			return nil
+		}
+		switch {
+		case errors.Is(err, nand.ErrProgramFailed):
+			if rerr := f.retireBlock(p, f.flash.Config().BlockOf(ppa)); rerr != nil {
+				return fmt.Errorf("ftl: retire after program failure: %w", rerr)
+			}
+		case errors.Is(err, nand.ErrBadBlock):
+			// The open block was retired while we waited on the die
+			// lock; drop the stale slot and retry.
+			f.open[die] = openBlock{blk: 0, nextPage: -1}
+		default:
+			return fmt.Errorf("ftl: program failed: %w", err)
+		}
 	}
-	err = f.flash.ProgramPage(p, ppa, data)
-	f.dieLocks[die].Release()
-	if err != nil {
-		return fmt.Errorf("ftl: program failed: %w", err)
-	}
-	if old, ok := f.l2p[lba]; ok {
-		f.invalidate(old)
-	}
-	f.l2p[lba] = ppa
-	f.p2l[ppa] = lba
-	f.validCount[f.flash.Config().BlockOf(ppa)]++
-	f.cHostWrites.Inc()
-	f.cNandWrites.Inc()
-	// The histogram includes any inline GC pause — the tail-latency
-	// effect the paper attributes to fsync-heavy logging.
-	f.hWrite.Observe(sim.Duration(f.env.Now() - start))
-	return nil
 }
 
 // ReadPage reads one logical page. Unmapped pages return zeroes without
-// touching flash (the controller answers from the map).
+// touching flash (the controller answers from the map). An
+// uncorrectable read (injected BER beyond the ECC budget) is absorbed
+// here: the firmware salvages the raw page, relocates the block's
+// valid pages elsewhere and retires it via MarkBad — the host sees the
+// data, plus the latency of the rescue.
 func (f *FTL) ReadPage(p *sim.Proc, lba LBA) ([]byte, error) {
 	if err := f.checkLBA(lba); err != nil {
 		return nil, err
@@ -338,7 +376,20 @@ func (f *FTL) ReadPage(p *sim.Proc, lba LBA) ([]byte, error) {
 	if !ok {
 		return make([]byte, f.PageSize()), nil
 	}
-	return f.flash.ReadPage(p, ppa)
+	data, err := f.flash.ReadPage(p, ppa)
+	if err != nil {
+		if !errors.Is(err, nand.ErrUncorrectable) {
+			return nil, err
+		}
+		data, err = f.flash.SalvageRead(p, ppa)
+		if err != nil {
+			return nil, err
+		}
+		if rerr := f.retireBlock(p, f.flash.Config().BlockOf(ppa)); rerr != nil {
+			return nil, fmt.Errorf("ftl: retire after uncorrectable read: %w", rerr)
+		}
+	}
+	return data, nil
 }
 
 // Trim invalidates a logical page without writing.
@@ -398,32 +449,125 @@ func (f *FTL) collect(p *sim.Proc) error {
 			}
 			data, err := f.flash.ReadPage(p, ppa)
 			if err != nil {
-				return fmt.Errorf("ftl: gc read: %w", err)
+				// The victim is about to be erased anyway: salvage an
+				// uncorrectable page instead of failing the write path.
+				if errors.Is(err, nand.ErrUncorrectable) {
+					data, err = f.flash.SalvageRead(p, ppa)
+				}
+				if err != nil {
+					return fmt.Errorf("ftl: gc read: %w", err)
+				}
 			}
 			die := int(uint64(victim)/uint64(fc.BlocksPerDie)+1) % fc.Dies()
-			f.dieLocks[die].Acquire(p)
-			dst, err := f.allocPPA(p, die)
-			if err != nil {
-				f.dieLocks[die].Release()
-				return err
-			}
-			err = f.flash.ProgramPage(p, dst, data)
-			f.dieLocks[die].Release()
-			if err != nil {
+			if err := f.relocLocked(p, ppa, lba, data, die); err != nil {
 				return fmt.Errorf("ftl: gc program: %w", err)
 			}
-			f.invalidate(ppa)
-			f.l2p[lba] = dst
-			f.p2l[dst] = lba
-			f.validCount[fc.BlockOf(dst)]++
 			f.cGCReloc.Inc()
-			f.cNandWrites.Inc()
 		}
 		if err := f.flash.EraseBlock(p, victim); err != nil {
-			// Worn out: block retired, not returned to the pool.
+			// Worn out or erase-failed: block retired, not returned to
+			// the pool.
+			if errors.Is(err, nand.ErrWornOut) || errors.Is(err, nand.ErrEraseFailed) {
+				f.cRetired.Inc()
+			}
 			continue
 		}
 		f.free = append(f.free, victim)
+	}
+	return nil
+}
+
+// relocLocked programs one valid page's data to a fresh location,
+// preferring the given die, and rebinds the mapping from src to the new
+// physical page. Destination blocks that fail to program are retired in
+// turn (cascade), which terminates because every retirement marks one
+// more of the finitely many blocks bad. Called with gcLock held.
+func (f *FTL) relocLocked(p *sim.Proc, src nand.PPA, lba LBA, data []byte, die int) error {
+	fc := f.flash.Config()
+	for {
+		f.dieLocks[die].Acquire(p)
+		dst, err := f.allocPPA(p, die)
+		if err != nil {
+			f.dieLocks[die].Release()
+			return err
+		}
+		err = f.flash.ProgramPage(p, dst, data)
+		f.dieLocks[die].Release()
+		if err == nil {
+			f.invalidate(src)
+			f.l2p[lba] = dst
+			f.p2l[dst] = lba
+			f.validCount[fc.BlockOf(dst)]++
+			f.cNandWrites.Inc()
+			return nil
+		}
+		switch {
+		case errors.Is(err, nand.ErrProgramFailed):
+			if rerr := f.retireLocked(p, fc.BlockOf(dst)); rerr != nil {
+				return rerr
+			}
+		case errors.Is(err, nand.ErrBadBlock):
+			// The open block was retired underneath this die's slot
+			// (cascade from another relocation); drop it and retry.
+			f.open[die] = openBlock{blk: 0, nextPage: -1}
+		default:
+			return err
+		}
+	}
+}
+
+// retireBlock takes the block out of service: its valid pages are
+// evacuated elsewhere and the block is marked bad, never to be
+// allocated again. Public entry point for the write/read paths; GC
+// (which already holds gcLock) calls retireLocked directly.
+func (f *FTL) retireBlock(p *sim.Proc, blk nand.BlockID) error {
+	f.gcLock.Acquire(p)
+	defer f.gcLock.Release()
+	return f.retireLocked(p, blk)
+}
+
+// retireLocked implements retirement with gcLock held. Marking the
+// block bad happens first so that any cascading retirement (a
+// relocation target failing to program) cannot loop back into this
+// block.
+func (f *FTL) retireLocked(p *sim.Proc, blk nand.BlockID) error {
+	if f.flash.IsBad(blk) {
+		return nil // already retired (cascade re-entry)
+	}
+	fc := f.flash.Config()
+	f.flash.MarkBad(blk)
+	f.cRetired.Inc()
+	for i, b := range f.free {
+		if b == blk {
+			f.free = append(f.free[:i], f.free[i+1:]...)
+			break
+		}
+	}
+	for i := range f.open {
+		if f.open[i].nextPage >= 0 && f.open[i].blk == blk {
+			f.open[i] = openBlock{blk: 0, nextPage: -1}
+		}
+	}
+	// Evacuate the surviving valid pages. Reads go through SalvageRead:
+	// the block is already condemned, so ECC verdicts are moot — the
+	// firmware recovers the raw data at full retry latency.
+	base := uint64(blk) * uint64(fc.PagesPerBlock)
+	homeDie := int(uint64(blk) / uint64(fc.BlocksPerDie))
+	for pg := 0; pg < fc.PagesPerBlock; pg++ {
+		ppa := nand.PPA(base + uint64(pg))
+		lba, valid := f.p2l[ppa]
+		if !valid {
+			continue
+		}
+		data, err := f.flash.SalvageRead(p, ppa)
+		if err != nil {
+			return fmt.Errorf("ftl: retire salvage: %w", err)
+		}
+		die := (homeDie + 1) % fc.Dies()
+		if err := f.relocLocked(p, ppa, lba, data, die); err != nil {
+			return fmt.Errorf("ftl: retire relocation: %w", err)
+		}
+		f.cRetireReloc.Inc()
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 
 	"twobssd/internal/core"
@@ -143,6 +144,17 @@ func (s *Store) Log() *wal.Log { return s.aof }
 
 // Len returns the number of live keys.
 func (s *Store) Len() int { return len(s.dict) }
+
+// Keys returns every live key in sorted order. Crash campaigns use it
+// to enumerate the recovered store when hunting phantom records.
+func (s *Store) Keys() []string {
+	keys := make([]string, 0, len(s.dict))
+	for k := range s.dict {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // AOF record encoding.
 const (

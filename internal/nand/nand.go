@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"twobssd/internal/fault"
 	"twobssd/internal/histo"
 	"twobssd/internal/obs"
 	"twobssd/internal/sim"
@@ -123,6 +124,14 @@ var (
 	ErrOutOfRange   = errors.New("nand: address out of range")
 	ErrWornOut      = errors.New("nand: block exceeded endurance")
 	ErrPageTooLarge = errors.New("nand: data larger than page")
+
+	// Injected-fault errors (internal/fault). ErrUncorrectable means a
+	// read failed ECC even after every retry step — the FTL salvages
+	// the data and retires the block. ErrProgramFailed/ErrEraseFailed
+	// are grown defects: the op charged full latency but did not take.
+	ErrUncorrectable = errors.New("nand: uncorrectable read")
+	ErrProgramFailed = errors.New("nand: page program failed")
+	ErrEraseFailed   = errors.New("nand: block erase failed")
 )
 
 type blockState struct {
@@ -155,6 +164,13 @@ type Flash struct {
 	chTrack  []string // precomputed trace track names (no per-op fmt)
 	dieTrack []string
 
+	// Fault injection (nil = disabled, the common case). progAt
+	// tracks page program times for the retention term of the BER
+	// model and exists only when an injector is installed, so the
+	// fault-free datapath carries no extra bookkeeping.
+	inj    *fault.Injector
+	progAt map[PPA]sim.Time
+
 	cReads, cPrograms, cErases *obs.Counter
 	cBytesRead, cBytesWritten  *obs.Counter
 	hRead, hProgram, hErase    *histo.H
@@ -172,6 +188,10 @@ func New(env *sim.Env, cfg Config) *Flash {
 		blocks: make([]blockState, cfg.Blocks()),
 		data:   make(map[PPA][]byte),
 		o:      obs.Of(env),
+		inj:    fault.Of(env),
+	}
+	if f.inj != nil {
+		f.progAt = make(map[PPA]sim.Time)
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		f.channels = append(f.channels, env.NewResource(fmt.Sprintf("nand.ch%d", i), 1))
@@ -231,8 +251,41 @@ func (f *Flash) checkPPA(ppa PPA) error {
 
 // ReadPage performs an array read of one page and transfers it over the
 // die's channel. The returned slice is a copy; never-written pages read
-// back as zeroes (an erased page).
+// back as zeroes (an erased page). With a fault injector installed the
+// read may take stepped ECC retry latency or fail with
+// ErrUncorrectable (wear- and retention-driven BER model).
 func (f *Flash) ReadPage(p *sim.Proc, ppa PPA) ([]byte, error) {
+	out, err := f.readTimed(p, ppa)
+	if err != nil {
+		return nil, err
+	}
+	if f.inj != nil {
+		blk := f.cfg.BlockOf(ppa)
+		var age sim.Duration
+		if t, ok := f.progAt[ppa]; ok {
+			age = sim.Duration(f.env.Now() - t)
+		}
+		rd := f.inj.ReadFault(f.cfg.PageSize, f.blocks[blk].eraseCount, age)
+		if rd.Retries > 0 {
+			p.Sleep(rd.Extra)
+		}
+		if rd.Uncorrectable {
+			return nil, fmt.Errorf("%w: ppa %d", ErrUncorrectable, uint64(ppa))
+		}
+	}
+	return out, nil
+}
+
+// SalvageRead is the FTL's last-resort read of an uncorrectable page:
+// full array/channel timing, no fault injection. The model keeps page
+// bytes intact, so salvage always yields the data — the realism is in
+// the latency already paid on retries and in the block retirement that
+// follows.
+func (f *Flash) SalvageRead(p *sim.Proc, ppa PPA) ([]byte, error) {
+	return f.readTimed(p, ppa)
+}
+
+func (f *Flash) readTimed(p *sim.Proc, ppa PPA) ([]byte, error) {
 	if err := f.checkPPA(ppa); err != nil {
 		return nil, err
 	}
@@ -292,6 +345,11 @@ func (f *Flash) ProgramPage(p *sim.Proc, ppa PPA, data []byte) error {
 	p.Sleep(f.cfg.ProgramLatency)
 	sp.End()
 	f.dies[die].Release()
+	if f.inj != nil && f.inj.ProgramFault() {
+		// Grown defect: full latency charged, page not programmed.
+		// The FTL retires the block and retries elsewhere.
+		return fmt.Errorf("%w: block %d page %d", ErrProgramFailed, f.cfg.BlockOf(ppa), page)
+	}
 	blk.nextPage++
 	stored := make([]byte, f.cfg.PageSize)
 	copy(stored, data)
@@ -299,6 +357,10 @@ func (f *Flash) ProgramPage(p *sim.Proc, ppa PPA, data []byte) error {
 	f.cPrograms.Inc()
 	f.cBytesWritten.Add(uint64(f.cfg.PageSize))
 	f.hProgram.Observe(sim.Duration(f.env.Now() - start))
+	if f.inj != nil {
+		f.progAt[ppa] = f.env.Now()
+		f.inj.Tick(fault.EvNandProgram)
+	}
 	return nil
 }
 
@@ -320,6 +382,12 @@ func (f *Flash) EraseBlock(p *sim.Proc, blk BlockID) error {
 	p.Sleep(f.cfg.EraseLatency)
 	sp.End()
 	f.dies[die].Release()
+	if f.inj != nil && f.inj.EraseFault() {
+		// Erase failure is a grown defect: the block is retired on
+		// the spot, its contents and program state untouched.
+		bs.bad = true
+		return fmt.Errorf("%w: block %d", ErrEraseFailed, blk)
+	}
 	bs.eraseCount++
 	bs.nextPage = 0
 	f.cErases.Inc()
@@ -327,6 +395,9 @@ func (f *Flash) EraseBlock(p *sim.Proc, blk BlockID) error {
 	base := PPA(uint64(blk) * uint64(f.cfg.PagesPerBlock))
 	for i := 0; i < f.cfg.PagesPerBlock; i++ {
 		delete(f.data, base+PPA(i))
+		if f.inj != nil {
+			delete(f.progAt, base+PPA(i))
+		}
 	}
 	if f.cfg.EnduranceCycles > 0 && bs.eraseCount >= f.cfg.EnduranceCycles {
 		bs.bad = true
@@ -335,7 +406,8 @@ func (f *Flash) EraseBlock(p *sim.Proc, blk BlockID) error {
 	return nil
 }
 
-// MarkBad retires a block (failure injection for tests).
+// MarkBad retires a block — the FTL calls this after uncorrectable
+// reads or program failures (and tests use it for direct injection).
 func (f *Flash) MarkBad(blk BlockID) {
 	f.blocks[blk].bad = true
 }

@@ -258,6 +258,7 @@ type Set struct {
 	env    *sim.Env
 	reg    *Registry
 	tracer *Tracer
+	aux    interface{}
 }
 
 // OnNewSet, when non-nil, is invoked each time Of lazily creates a Set
@@ -304,6 +305,15 @@ func (s *Set) EnableTracing() *Tracer {
 	}
 	return s.tracer
 }
+
+// SetAux attaches an opaque companion value to the set. The sim.Env
+// has exactly one attachment slot (held by this Set); cross-cutting
+// layers that also need per-env state — internal/fault is the user —
+// ride along here instead of competing for the slot.
+func (s *Set) SetAux(v interface{}) { s.aux = v }
+
+// Aux returns the companion value installed by SetAux, or nil.
+func (s *Set) Aux() interface{} { return s.aux }
 
 // Snapshot captures the registry at the environment's current virtual
 // time.

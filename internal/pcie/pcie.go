@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"twobssd/internal/fault"
 	"twobssd/internal/histo"
 	"twobssd/internal/obs"
 	"twobssd/internal/sim"
@@ -91,6 +92,7 @@ type Window struct {
 	// Metrics ("pcie.*" in the obs registry — Stats() reads them back,
 	// so the MMIO report and this API agree by construction).
 	o                       *obs.Set
+	inj                     *fault.Injector
 	cWrites, cReads, cSyncs *obs.Counter
 	cBytesWrit, cBytesRead  *obs.Counter
 	cEvictions, cWVReads    *obs.Counter
@@ -110,7 +112,7 @@ func NewWindow(env *sim.Env, cfg Config, mem []byte) *Window {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	w := &Window{env: env, cfg: cfg, mem: mem, o: obs.Of(env)}
+	w := &Window{env: env, cfg: cfg, mem: mem, o: obs.Of(env), inj: fault.Of(env)}
 	reg := w.o.Registry()
 	w.cWrites = reg.Counter("pcie.mmio_writes")
 	w.cReads = reg.Counter("pcie.mmio_reads")
@@ -173,6 +175,7 @@ func (w *Window) Write(p *sim.Proc, off int, data []byte) error {
 		seg := make([]byte, hi-lo)
 		copy(seg, data[lo-off:hi-off])
 		w.pending = append(w.pending, burst{off: lo, data: seg})
+		w.inj.Tick(fault.EvWCBurst)
 	}
 	// Finite WC buffer pool: oldest bursts evict to the device.
 	for len(w.pending) > w.cfg.WCBufferBursts {

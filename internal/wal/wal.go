@@ -33,6 +33,7 @@ import (
 	"hash/crc32"
 
 	"twobssd/internal/core"
+	"twobssd/internal/fault"
 	"twobssd/internal/ftl"
 	"twobssd/internal/histo"
 	"twobssd/internal/obs"
@@ -175,6 +176,7 @@ type Log struct {
 	// Metrics ("wal.*" in the obs registry; Stats() reads them back —
 	// CommitTime is the commit-latency histogram's exact sum).
 	o                  *obs.Set
+	inj                *fault.Injector
 	cAppends, cCommits *obs.Counter
 	cFlushes           *obs.Counter
 	cBytes, cPadBytes  *obs.Counter
@@ -225,6 +227,7 @@ func Open(env *sim.Env, cfg Config) (*Log, error) {
 		mu:      env.NewResource("wal.mu", 1),
 		flushed: env.NewSignal("wal.flushed"),
 		o:       obs.Of(env),
+		inj:     fault.Of(env),
 	}
 	reg := l.o.Registry()
 	l.cAppends = reg.Counter("wal.appends")
@@ -403,7 +406,12 @@ func (l *Log) pinFor(p *sim.Proc, pos int64) (*half, error) {
 			other.ready = false
 			l.env.Go("wal.baflush", func(w *sim.Proc) {
 				if err := l.flushHalf(w, other); err != nil {
-					panic(fmt.Sprintf("wal: background BA flush: %v", err))
+					// Power died under the background flush (fault
+					// injection): the half stays unflushed; recovery
+					// replays it from the dumped BA-buffer image.
+					if !errors.Is(err, core.ErrPowerIsOff) {
+						panic(fmt.Sprintf("wal: background BA flush: %v", err))
+					}
 				}
 				other.ready = true
 				other.sig.Fire()
@@ -461,6 +469,7 @@ func (l *Log) Commit(p *sim.Proc, lsn LSN) error {
 	defer func() {
 		sp.End()
 		l.cCommits.Inc()
+		l.inj.Tick(fault.EvWalCommit)
 		l.hCommit.Observe(sim.Duration(l.env.Now() - start))
 	}()
 	switch l.cfg.Mode {
