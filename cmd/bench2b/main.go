@@ -9,13 +9,17 @@
 // mixed recovery tail smallread pmr journal qd probe ablations all
 // (default: all).
 //
-// Two reliability artifacts run only when named explicitly (they are
+// Four reliability artifacts run only when named explicitly (they are
 // not part of "all"): "crash" sweeps 128 deterministic power-loss
 // points per workload across every storage engine (640 total) and
 // "crash-smoke" is the 64-point CI variant over lsm + pglite. Both
 // exit non-zero when any crash point violates the durability contract
 // (a committed record lost despite a persisted dump, or a phantom
-// record recovered).
+// record recovered). "fuzz" replays -seeds randomized dual-path
+// workloads (default 256) against the internal/oracle reference model
+// and "fuzz-smoke" is the 32-seed CI variant; both exit non-zero on
+// any stack/model divergence, after shrinking it to a minimal op
+// trace.
 //
 // -j fans the independent simulation environments behind each
 // experiment data point — and the experiments themselves — out across N
@@ -103,6 +107,23 @@ func crashExperiments(failed *atomic.Bool) []experiment {
 	}
 }
 
+// fuzzExperiments returns the oracle fuzzing artifacts; like the crash
+// campaigns they run only when named. A divergence between the stack
+// and the reference model flips failed so main exits non-zero after
+// the shrunk trace prints.
+func fuzzExperiments(failed *atomic.Bool, seeds int) []experiment {
+	run := func(w io.Writer, n int) {
+		if _, err := bench.RunFuzz(w, n); err != nil {
+			fmt.Fprintf(w, "FAIL: %v\n", err)
+			failed.Store(true)
+		}
+	}
+	return []experiment{
+		{"fuzz", func(w io.Writer) { run(w, seeds) }},
+		{"fuzz-smoke", func(w io.Writer) { run(w, 32) }},
+	}
+}
+
 // expReport is one experiment's wall-clock cost in the -benchjson
 // report. Under -j > 1 experiments overlap, so their wall times can sum
 // past the run's total.
@@ -132,10 +153,11 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write merged metrics snapshot JSON to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	benchPath := flag.String("benchjson", "", "write wall-clock kernel benchmark JSON to this file")
+	seeds := flag.Int("seeds", 256, "seed count for the fuzz experiment")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-seeds N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd probe ablations all\n")
-		fmt.Fprintf(os.Stderr, "reliability (not in \"all\"): crash crash-smoke\n")
+		fmt.Fprintf(os.Stderr, "reliability (not in \"all\"): crash crash-smoke fuzz fuzz-smoke\n")
 	}
 	flag.Parse()
 	scale, scaleName := bench.Quick, "quick"
@@ -162,13 +184,16 @@ func main() {
 		col.Install()
 	}
 
-	var crashFailed atomic.Bool
+	var gateFailed atomic.Bool
 	all := experiments(scale)
 	byID := make(map[string]experiment, len(all))
 	for _, ex := range all {
 		byID[ex.id] = ex
 	}
-	for _, ex := range crashExperiments(&crashFailed) {
+	for _, ex := range crashExperiments(&gateFailed) {
+		byID[ex.id] = ex
+	}
+	for _, ex := range fuzzExperiments(&gateFailed, *seeds) {
 		byID[ex.id] = ex
 	}
 	var selected []experiment
@@ -231,8 +256,8 @@ func main() {
 			})
 		}
 	}
-	if crashFailed.Load() {
-		fmt.Fprintln(os.Stderr, "bench2b: crash campaign reported durability violations")
+	if gateFailed.Load() {
+		fmt.Fprintln(os.Stderr, "bench2b: reliability campaign failed (durability violation or model divergence)")
 		os.Exit(1)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"twobssd/internal/fault"
 	"twobssd/internal/ftl"
 	"twobssd/internal/histo"
+	"twobssd/internal/integrity"
 	"twobssd/internal/obs"
 	"twobssd/internal/pcie"
 	"twobssd/internal/sim"
@@ -84,6 +85,7 @@ type TwoBSSD struct {
 
 	powered bool
 	rec     *recovery
+	scrub   *scrubber
 
 	// Metrics ("2bssd.*" in the obs registry; Stats() reads them back).
 	o                           *obs.Set
@@ -148,6 +150,7 @@ func New(env *sim.Env, cfg Config) *TwoBSSD {
 	reg.GaugeFunc("2bssd.pinned_entries", func() float64 { return float64(len(s.Entries())) })
 	s.win = pcie.NewWindow(env, cfg.MMIO, s.babuf)
 	s.rec = newRecovery(s)
+	s.scrub = newScrubber(s)
 	s.dev.SetGate(checker{s})
 	return s
 }
@@ -343,7 +346,12 @@ func (s *TwoBSSD) internalMove(p *sim.Proc, ent *Entry, write bool) error {
 			off := ent.Offset + i*ps
 			lba := ent.LBA + ftl.LBA(i)
 			if write {
-				if err := s.dev.FTL().WritePage(w, lba, s.babuf[off:off+ps]); err != nil {
+				// BA_FLUSH is the byte path's host boundary: the page's
+				// content is fixed here for the first time (MMIO stores
+				// have no page-granular commit point), so the integrity
+				// tag is born here.
+				tag := integrity.PageCRC(s.babuf[off : off+ps])
+				if err := s.dev.FTL().WritePageTagged(w, lba, s.babuf[off:off+ps], tag); err != nil {
 					if firstErr == nil {
 						firstErr = err
 					}
@@ -352,7 +360,12 @@ func (s *TwoBSSD) internalMove(p *sim.Proc, ent *Entry, write bool) error {
 				s.inj.Tick(fault.EvBAFlushPage)
 				return
 			}
-			data, err := s.dev.FTL().ReadPage(w, lba)
+			data, tag, tagged, err := s.dev.FTL().ReadPageTagged(w, lba)
+			if err == nil && tagged {
+				if cerr := integrity.Check(data, tag); cerr != nil {
+					err = fmt.Errorf("2bssd: pin lba %d: %w", lba, cerr)
+				}
+			}
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err

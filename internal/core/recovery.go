@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 
 	"twobssd/internal/ftl"
+	"twobssd/internal/integrity"
 	"twobssd/internal/nand"
 	"twobssd/internal/sim"
 )
@@ -212,7 +213,8 @@ func (r *recovery) dumpImage(p *sim.Proc) error {
 					fail(errors.New("capacitors cut mid-dump"))
 					return
 				}
-				if err := s.dev.Flash().ProgramPage(w, base+nand.PPA(pg), s.babuf[i*ps:(i+1)*ps]); err != nil {
+				page := s.babuf[i*ps : (i+1)*ps]
+				if err := s.dev.Flash().ProgramPageTagged(w, base+nand.PPA(pg), page, integrity.PageCRC(page)); err != nil {
 					fail(fmt.Errorf("dump program: %w", err))
 					return
 				}
@@ -224,7 +226,8 @@ func (r *recovery) dumpImage(p *sim.Proc) error {
 					fail(errors.New("capacitors cut before metadata page"))
 					return
 				}
-				if err := s.dev.Flash().ProgramPage(w, base+nand.PPA(pg), r.encodeMeta()); err != nil {
+				meta := r.encodeMeta()
+				if err := s.dev.Flash().ProgramPageTagged(w, base+nand.PPA(pg), meta, integrity.PageCRC(meta)); err != nil {
 					fail(fmt.Errorf("dump meta program: %w", err))
 					return
 				}
@@ -272,7 +275,10 @@ func (r *recovery) restoreImage(p *sim.Proc) error {
 		metaPg = s.BufferPages()
 	}
 	base0 := nand.PPA(uint64(r.dumpBlocks[0]) * uint64(fc.PagesPerBlock))
-	metaBuf, err := s.dev.Flash().ReadPage(p, base0+nand.PPA(metaPg))
+	metaBuf, tag, tagged, _, err := s.dev.Flash().ReadPageTagged(p, base0+nand.PPA(metaPg))
+	if err == nil && tagged {
+		err = integrity.Check(metaBuf, tag)
+	}
 	if err != nil {
 		return fmt.Errorf("2bssd: restore meta: %w", err)
 	}
@@ -292,7 +298,12 @@ func (r *recovery) restoreImage(p *sim.Proc) error {
 			base := nand.PPA(uint64(blk) * uint64(fc.PagesPerBlock))
 			pg := 0
 			for i := b * per; i < (b+1)*per && i < s.BufferPages(); i++ {
-				data, err := s.dev.Flash().ReadPage(w, base+nand.PPA(pg))
+				data, tag, tagged, _, err := s.dev.Flash().ReadPageTagged(w, base+nand.PPA(pg))
+				if err == nil && tagged {
+					if cerr := integrity.Check(data, tag); cerr != nil {
+						err = fmt.Errorf("2bssd: restore page %d: %w", i, cerr)
+					}
+				}
 				if err != nil {
 					if firstErr == nil {
 						firstErr = err

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"twobssd/internal/fault"
+	"twobssd/internal/obs"
+	"twobssd/internal/sim"
+)
+
+// retentionBER returns a single-retry-step model where a page becomes
+// correctable-with-retries after ~23 h of retention and uncorrectable
+// after ~47 h: lambda = Base*(1+0.5h)*32768 bits crosses ECCBits=40 at
+// 1+0.5h > 12.2 and the one-retry ceiling of 80 at 1+0.5h > 24.4.
+func retentionBER() *fault.BERModel {
+	return &fault.BERModel{
+		Base:             1e-4,
+		RetentionPerHour: 0.5,
+		ECCBits:          40,
+		RetrySteps:       1,
+		RetryLatency:     60 * sim.Microsecond,
+	}
+}
+
+// TestScrubRepairsRetentionErrors is the latent-error defence test: a
+// page written once and never read accumulates retention errors. A
+// patrol pass at 30 h finds it correctable-with-retries and rewrites
+// it, resetting its retention age; at 60 h (uncorrectable territory for
+// the original copy) the host read is clean. A control run without the
+// scrub pass hits the uncorrectable salvage path instead.
+func TestScrubRepairsRetentionErrors(t *testing.T) {
+	const hour = 3600 * sim.Second
+	run := func(scrub bool) (uncorrectable uint64, repaired uint64, data []byte) {
+		e := sim.NewEnv()
+		o := obs.Of(e)
+		fault.Install(e, fault.Plan{Seed: 7, BER: retentionBER()})
+		s := New(e, testConfig())
+		ps := s.PageSize()
+		want := bytes.Repeat([]byte{0x5C}, ps)
+		e.Go("t", func(p *sim.Proc) {
+			if err := s.Device().WritePages(p, 3, want); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			if err := s.Device().Drain(p); err != nil {
+				t.Errorf("drain: %v", err)
+				return
+			}
+			p.Sleep(30 * hour)
+			if scrub {
+				if err := s.ScrubPass(p); err != nil {
+					t.Errorf("scrub: %v", err)
+					return
+				}
+			}
+			p.Sleep(30 * hour)
+			got, err := s.Device().ReadPages(p, 3, 1)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			data = got
+		})
+		e.Run()
+		return o.Registry().Counter("fault.uncorrectable_reads").Value(),
+			s.ScrubStats().Repaired, data
+	}
+
+	uncorr, repaired, data := run(true)
+	if repaired == 0 {
+		t.Error("scrub pass repaired no pages; want at least the retention-aged page")
+	}
+	if uncorr != 0 {
+		t.Errorf("with scrub: %d uncorrectable reads, want 0", uncorr)
+	}
+	if !bytes.Equal(data, bytes.Repeat([]byte{0x5C}, len(data))) {
+		t.Error("with scrub: read returned wrong data")
+	}
+
+	ctrlUncorr, ctrlRepaired, ctrlData := run(false)
+	if ctrlRepaired != 0 {
+		t.Errorf("control repaired %d pages without a scrub pass", ctrlRepaired)
+	}
+	if ctrlUncorr == 0 {
+		t.Error("control hit no uncorrectable reads; retention model too weak for this test")
+	}
+	if !bytes.Equal(ctrlData, bytes.Repeat([]byte{0x5C}, len(ctrlData))) {
+		t.Error("control: salvage read returned wrong data")
+	}
+}
+
+// TestScrubDaemonCadence runs the interval-driven scrubber and checks
+// that passes tick on the virtual clock and that StopScrub lets the
+// simulation terminate.
+func TestScrubDaemonCadence(t *testing.T) {
+	e := sim.NewEnv()
+	cfg := testConfig()
+	cfg.ScrubInterval = 1 * sim.Second
+	cfg.ScrubPagesPerPass = 16
+	s := New(e, cfg)
+	ps := s.PageSize()
+	e.Go("t", func(p *sim.Proc) {
+		if err := s.Device().WritePages(p, 0, bytes.Repeat([]byte{1}, 4*ps)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := s.Device().Drain(p); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		p.Sleep(5 * sim.Second)
+		s.StopScrub()
+	})
+	e.Run()
+	st := s.ScrubStats()
+	if st.Passes < 4 {
+		t.Errorf("scrub passes = %d, want >= 4 over 5 s at 1 s cadence", st.Passes)
+	}
+	if st.Scanned == 0 {
+		t.Error("scrub scanned no mapped pages")
+	}
+	if st.CRCErrors != 0 {
+		t.Errorf("scrub flagged %d CRC errors on a healthy device", st.CRCErrors)
+	}
+}
+
+// TestScrubSkipsWhilePoweredOff checks the daemon idles across a
+// power-loss window instead of patrolling a dead device.
+func TestScrubSkipsWhilePoweredOff(t *testing.T) {
+	e := sim.NewEnv()
+	cfg := testConfig()
+	cfg.ScrubInterval = 1 * sim.Second
+	s := New(e, cfg)
+	e.Go("t", func(p *sim.Proc) {
+		if _, err := s.PowerLoss(p); err != nil {
+			t.Errorf("power loss: %v", err)
+		}
+		p.Sleep(3 * sim.Second)
+		if err := s.PowerOn(p); err != nil {
+			t.Errorf("power on: %v", err)
+		}
+		s.StopScrub()
+	})
+	e.Run()
+	if p := s.ScrubStats().Passes; p != 0 {
+		t.Errorf("scrubber ran %d passes while powered off", p)
+	}
+}

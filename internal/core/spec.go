@@ -97,6 +97,16 @@ type Config struct {
 	// range are allowed to use this API". A nil authorizer allows all
 	// pins (single-tenant use).
 	PinAuthorizer func(lba uint64, pages int) error
+
+	// Background scrubber: every ScrubInterval of virtual time the
+	// firmware patrol-reads ScrubPagesPerPass logical pages (round
+	// robin over the exported LBA space), rewriting pages whose reads
+	// needed ECC retries before retention errors grow uncorrectable.
+	// A zero ScrubInterval disables the scrubber (the default, so
+	// existing experiment results are untouched). A zero
+	// ScrubPagesPerPass with a non-zero interval scans 64 pages/pass.
+	ScrubInterval     sim.Duration
+	ScrubPagesPerPass int
 }
 
 // DefaultConfig returns the calibrated prototype configuration.

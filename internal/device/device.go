@@ -16,6 +16,7 @@ import (
 	"twobssd/internal/fault"
 	"twobssd/internal/ftl"
 	"twobssd/internal/histo"
+	"twobssd/internal/integrity"
 	"twobssd/internal/nand"
 	"twobssd/internal/obs"
 	"twobssd/internal/sim"
@@ -150,6 +151,13 @@ var (
 type bufEntry struct {
 	lba  ftl.LBA
 	data []byte
+	tag  uint32 // integrity.PageCRC(data), stamped at the host boundary
+}
+
+// taggedPage is one popped-but-unpersisted write-buffer copy.
+type taggedPage struct {
+	data []byte
+	tag  uint32
 }
 
 // Stats aggregates device-level counters.
@@ -188,7 +196,7 @@ type Device struct {
 	// first — the newest is the read-visible one).
 	popSeq      uint64
 	popOrder    map[ftl.LBA][]uint64
-	pendingData map[ftl.LBA][][]byte
+	pendingData map[ftl.LBA][]taggedPage
 
 	gate Gate
 
@@ -225,7 +233,7 @@ func New(env *sim.Env, p Profile) *Device {
 		bufDrain:     env.NewSignal(p.Name + ".bufdrain"),
 		inflightDone: env.NewSignal(p.Name + ".inflightdone"),
 		popOrder:     make(map[ftl.LBA][]uint64),
-		pendingData:  make(map[ftl.LBA][][]byte),
+		pendingData:  make(map[ftl.LBA][]taggedPage),
 		o:            obs.Of(env),
 		inj:          fault.Of(env),
 		pcieTrack:    p.Name + ".pcie",
@@ -340,14 +348,24 @@ func (d *Device) ReadPages(p *sim.Proc, lba ftl.LBA, n int) ([]byte, error) {
 		d.env.Go(fmt.Sprintf("%s.rd.p%d", d.profile.Name, i), func(w *sim.Proc) {
 			defer wg.Done()
 			d.fw.Use(w, d.profile.FwPerPageCost)
+			l := lba + ftl.LBA(i)
 			// Serve from the write buffer if a newer copy is there.
-			if data, ok := d.bufLookup(lba + ftl.LBA(i)); ok {
+			if data, tag, ok := d.bufLookup(l); ok {
+				if err := integrity.Check(data, tag); err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: buffered lba %d: %w", d.profile.Name, l, err)
+					}
+					return
+				}
 				copy(out[i*ps:], data)
 			} else {
-				data, err := d.ftl.ReadPage(w, lba+ftl.LBA(i))
+				data, tag, tagged, err := d.ftl.ReadPageTagged(w, l)
+				if err == nil && tagged {
+					err = integrity.Check(data, tag)
+				}
 				if err != nil {
 					if firstErr == nil {
-						firstErr = err
+						firstErr = fmt.Errorf("%s: lba %d: %w", d.profile.Name, l, err)
 					}
 					return
 				}
@@ -370,16 +388,17 @@ func (d *Device) ReadPages(p *sim.Proc, lba ftl.LBA, n int) ([]byte, error) {
 // bufLookup returns the newest not-yet-persisted copy of lba: a
 // buffered entry, or the newest copy popped by a drain worker that has
 // not reached NAND yet.
-func (d *Device) bufLookup(lba ftl.LBA) ([]byte, bool) {
+func (d *Device) bufLookup(lba ftl.LBA) ([]byte, uint32, bool) {
 	for i := len(d.buf) - 1; i >= 0; i-- {
 		if d.buf[i].lba == lba {
-			return d.buf[i].data, true
+			return d.buf[i].data, d.buf[i].tag, true
 		}
 	}
 	if pend := d.pendingData[lba]; len(pend) > 0 {
-		return pend[len(pend)-1], true
+		last := pend[len(pend)-1]
+		return last.data, last.tag, true
 	}
-	return nil, false
+	return nil, 0, false
 }
 
 // WritePages executes one write command; len(data) must be a multiple
@@ -416,9 +435,12 @@ func (d *Device) WritePages(p *sim.Proc, lba ftl.LBA, data []byte) error {
 		}
 		page := make([]byte, ps)
 		copy(page, data[i*ps:(i+1)*ps])
+		// The integrity tag is born here — the block path's host
+		// boundary — and rides with the page to NAND and back.
+		tag := integrity.PageCRC(page)
 		l := lba + ftl.LBA(i)
-		if !d.coalesce(l, page) {
-			d.buf = append(d.buf, bufEntry{lba: l, data: page})
+		if !d.coalesce(l, page, tag) {
+			d.buf = append(d.buf, bufEntry{lba: l, data: page, tag: tag})
 			d.bufWork.Fire()
 			d.o.Tracer().Count(d.bufTrack, "buffered_pages", float64(d.BufferedPages()))
 		}
@@ -465,10 +487,11 @@ func (d *Device) Drain(p *sim.Proc) error {
 // coalesce replaces an already-buffered copy of lba in place, keeping
 // one buffered entry per LBA (the real write buffer's behaviour — and
 // exactly how repeated partial log-page writes are absorbed).
-func (d *Device) coalesce(lba ftl.LBA, page []byte) bool {
+func (d *Device) coalesce(lba ftl.LBA, page []byte, tag uint32) bool {
 	for i := range d.buf {
 		if d.buf[i].lba == lba {
 			d.buf[i].data = page
+			d.buf[i].tag = tag
 			return true
 		}
 	}
@@ -490,12 +513,12 @@ func (d *Device) drainLoop(p *sim.Proc) {
 		d.popSeq++
 		ticket := d.popSeq
 		d.popOrder[ent.lba] = append(d.popOrder[ent.lba], ticket)
-		d.pendingData[ent.lba] = append(d.pendingData[ent.lba], ent.data)
+		d.pendingData[ent.lba] = append(d.pendingData[ent.lba], taggedPage{data: ent.data, tag: ent.tag})
 		for d.popOrder[ent.lba][0] != ticket {
 			d.inflightDone.Wait(p)
 		}
 		sp := d.o.Tracer().BeginProc(p, "device", "drain_write")
-		if err := d.ftl.WritePage(p, ent.lba, ent.data); err != nil {
+		if err := d.ftl.WritePageTagged(p, ent.lba, ent.data, ent.tag); err != nil {
 			// Drain failure means the device is configured too small
 			// for the workload: a fatal modeling error.
 			panic(fmt.Sprintf("%s: drain write failed: %v", d.profile.Name, err))

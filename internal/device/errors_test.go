@@ -1,0 +1,74 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"twobssd/internal/fault"
+	"twobssd/internal/ftl"
+	"twobssd/internal/integrity"
+	"twobssd/internal/obs"
+	"twobssd/internal/sim"
+)
+
+// TestTimeoutBackoffErrorWrapping drives the device with injected
+// transient command timeouts and verifies (a) the backoff path retries
+// through to success rather than surfacing the transient, and (b) a
+// real error raised while the timeout machinery is active is wrapped —
+// matched by errors.Is through the device's context decoration, never
+// by equality.
+func TestTimeoutBackoffErrorWrapping(t *testing.T) {
+	e := sim.NewEnv()
+	o := obs.Of(e)
+	fault.Install(e, fault.Plan{
+		Seed:         11,
+		TimeoutOneIn: 2, // roughly every other command times out
+		TimeoutDelay: 50 * sim.Microsecond,
+	})
+	d := New(e, small(ULLSSD()))
+	ps := d.PageSize()
+	e.Go("t", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			if err := d.WritePages(p, ftl.LBA(i), bytes.Repeat([]byte{byte(i)}, ps)); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+		if err := d.Drain(p); err != nil {
+			t.Errorf("drain: %v", err)
+			return
+		}
+		for i := 0; i < 8; i++ {
+			got, err := d.ReadPages(p, ftl.LBA(i), 1)
+			if err != nil || got[0] != byte(i) {
+				t.Errorf("read %d after timeouts: %v", i, err)
+				return
+			}
+		}
+		// A genuine failure under the same plan: corrupted page. The
+		// device decorates it with command context, so equality would
+		// miss — errors.Is must still match the sentinel.
+		ppa, ok := d.FTL().PPAOf(3)
+		if !ok {
+			t.Error("lba 3 not mapped")
+			return
+		}
+		d.Flash().CorruptPage(ppa, 1)
+		_, err := d.ReadPages(p, 3, 1)
+		if err == nil {
+			t.Error("read of corrupted page succeeded")
+			return
+		}
+		if err == integrity.ErrPageCorrupt { //nolint:errorlint // proving the wrap
+			t.Error("error returned unwrapped; context decoration missing")
+		}
+		if !errors.Is(err, integrity.ErrPageCorrupt) {
+			t.Errorf("errors.Is failed to match through the wrap: %v", err)
+		}
+	})
+	e.Run()
+	if n := o.Registry().Counter("ULL-SSD.cmd_timeouts").Value(); n == 0 {
+		t.Error("no command timeouts injected; backoff path never ran")
+	}
+}

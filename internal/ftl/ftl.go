@@ -244,6 +244,14 @@ func (f *FTL) Mapped(lba LBA) bool {
 	return ok
 }
 
+// PPAOf reports the physical page currently backing an LBA. Intended
+// for fault-injection and integrity tests that need to corrupt or
+// inspect a specific page image on flash.
+func (f *FTL) PPAOf(lba LBA) (nand.PPA, bool) {
+	ppa, ok := f.l2p[lba]
+	return ppa, ok
+}
+
 func (f *FTL) checkLBA(lba LBA) error {
 	if uint64(lba) >= f.exportedPages {
 		return fmt.Errorf("%w: %d >= %d", ErrLBAOutOfRange, lba, f.exportedPages)
@@ -307,12 +315,32 @@ func (f *FTL) invalidate(ppa nand.PPA) {
 	}
 }
 
+// program issues one page program, carrying the optional out-of-band
+// integrity tag into the flash spare area.
+func (f *FTL) program(p *sim.Proc, ppa nand.PPA, data []byte, tag uint32, tagged bool) error {
+	if tagged {
+		return f.flash.ProgramPageTagged(p, ppa, data, tag)
+	}
+	return f.flash.ProgramPage(p, ppa, data)
+}
+
 // WritePage writes one logical page out of place. The data may be
 // shorter than a page (zero padded by the flash layer). A program
 // failure (injected grown defect) retires the block — evacuating its
 // valid pages — and retries on another block, so callers above the FTL
 // never see transient NAND program errors.
 func (f *FTL) WritePage(p *sim.Proc, lba LBA, data []byte) error {
+	return f.writePage(p, lba, data, 0, false)
+}
+
+// WritePageTagged is WritePage plus a host-boundary integrity tag that
+// rides out of band with the page through NAND, garbage collection and
+// block retirement, and comes back on every read path.
+func (f *FTL) WritePageTagged(p *sim.Proc, lba LBA, data []byte, tag uint32) error {
+	return f.writePage(p, lba, data, tag, true)
+}
+
+func (f *FTL) writePage(p *sim.Proc, lba LBA, data []byte, tag uint32, tagged bool) error {
 	if err := f.checkLBA(lba); err != nil {
 		return err
 	}
@@ -329,7 +357,7 @@ func (f *FTL) WritePage(p *sim.Proc, lba LBA, data []byte) error {
 			f.dieLocks[die].Release()
 			return err
 		}
-		err = f.flash.ProgramPage(p, ppa, data)
+		err = f.program(p, ppa, data, tag, tagged)
 		f.dieLocks[die].Release()
 		if err == nil {
 			if old, ok := f.l2p[lba]; ok {
@@ -368,28 +396,36 @@ func (f *FTL) WritePage(p *sim.Proc, lba LBA, data []byte) error {
 // valid pages elsewhere and retires it via MarkBad — the host sees the
 // data, plus the latency of the rescue.
 func (f *FTL) ReadPage(p *sim.Proc, lba LBA) ([]byte, error) {
+	data, _, _, err := f.ReadPageTagged(p, lba)
+	return data, err
+}
+
+// ReadPageTagged is ReadPage plus the page's out-of-band integrity tag.
+// tagged is false for unmapped pages and for pages written through the
+// untagged WritePage path.
+func (f *FTL) ReadPageTagged(p *sim.Proc, lba LBA) (data []byte, tag uint32, tagged bool, err error) {
 	if err := f.checkLBA(lba); err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	f.cHostReads.Inc()
 	ppa, ok := f.l2p[lba]
 	if !ok {
-		return make([]byte, f.PageSize()), nil
+		return make([]byte, f.PageSize()), 0, false, nil
 	}
-	data, err := f.flash.ReadPage(p, ppa)
+	data, tag, tagged, _, err = f.flash.ReadPageTagged(p, ppa)
 	if err != nil {
 		if !errors.Is(err, nand.ErrUncorrectable) {
-			return nil, err
+			return nil, 0, false, err
 		}
-		data, err = f.flash.SalvageRead(p, ppa)
+		data, tag, tagged, err = f.flash.SalvageReadTagged(p, ppa)
 		if err != nil {
-			return nil, err
+			return nil, 0, false, err
 		}
 		if rerr := f.retireBlock(p, f.flash.Config().BlockOf(ppa)); rerr != nil {
-			return nil, fmt.Errorf("ftl: retire after uncorrectable read: %w", rerr)
+			return nil, 0, false, fmt.Errorf("ftl: retire after uncorrectable read: %w", rerr)
 		}
 	}
-	return data, nil
+	return data, tag, tagged, nil
 }
 
 // Trim invalidates a logical page without writing.
@@ -447,19 +483,19 @@ func (f *FTL) collect(p *sim.Proc) error {
 			if !valid {
 				continue
 			}
-			data, err := f.flash.ReadPage(p, ppa)
+			data, tag, tagged, _, err := f.flash.ReadPageTagged(p, ppa)
 			if err != nil {
 				// The victim is about to be erased anyway: salvage an
 				// uncorrectable page instead of failing the write path.
 				if errors.Is(err, nand.ErrUncorrectable) {
-					data, err = f.flash.SalvageRead(p, ppa)
+					data, tag, tagged, err = f.flash.SalvageReadTagged(p, ppa)
 				}
 				if err != nil {
 					return fmt.Errorf("ftl: gc read: %w", err)
 				}
 			}
 			die := int(uint64(victim)/uint64(fc.BlocksPerDie)+1) % fc.Dies()
-			if err := f.relocLocked(p, ppa, lba, data, die); err != nil {
+			if err := f.relocLocked(p, ppa, lba, data, tag, tagged, die); err != nil {
 				return fmt.Errorf("ftl: gc program: %w", err)
 			}
 			f.cGCReloc.Inc()
@@ -479,10 +515,11 @@ func (f *FTL) collect(p *sim.Proc) error {
 
 // relocLocked programs one valid page's data to a fresh location,
 // preferring the given die, and rebinds the mapping from src to the new
-// physical page. Destination blocks that fail to program are retired in
-// turn (cascade), which terminates because every retirement marks one
-// more of the finitely many blocks bad. Called with gcLock held.
-func (f *FTL) relocLocked(p *sim.Proc, src nand.PPA, lba LBA, data []byte, die int) error {
+// physical page. The page's integrity tag (if any) moves with it.
+// Destination blocks that fail to program are retired in turn
+// (cascade), which terminates because every retirement marks one more
+// of the finitely many blocks bad. Called with gcLock held.
+func (f *FTL) relocLocked(p *sim.Proc, src nand.PPA, lba LBA, data []byte, tag uint32, tagged bool, die int) error {
 	fc := f.flash.Config()
 	for {
 		f.dieLocks[die].Acquire(p)
@@ -491,7 +528,7 @@ func (f *FTL) relocLocked(p *sim.Proc, src nand.PPA, lba LBA, data []byte, die i
 			f.dieLocks[die].Release()
 			return err
 		}
-		err = f.flash.ProgramPage(p, dst, data)
+		err = f.program(p, dst, data, tag, tagged)
 		f.dieLocks[die].Release()
 		if err == nil {
 			f.invalidate(src)
@@ -559,12 +596,12 @@ func (f *FTL) retireLocked(p *sim.Proc, blk nand.BlockID) error {
 		if !valid {
 			continue
 		}
-		data, err := f.flash.SalvageRead(p, ppa)
+		data, tag, tagged, err := f.flash.SalvageReadTagged(p, ppa)
 		if err != nil {
 			return fmt.Errorf("ftl: retire salvage: %w", err)
 		}
 		die := (homeDie + 1) % fc.Dies()
-		if err := f.relocLocked(p, ppa, lba, data, die); err != nil {
+		if err := f.relocLocked(p, ppa, lba, data, tag, tagged, die); err != nil {
 			return fmt.Errorf("ftl: retire relocation: %w", err)
 		}
 		f.cRetireReloc.Inc()
@@ -607,4 +644,71 @@ func (f *FTL) pickVictim() (nand.BlockID, bool) {
 		return 0, false
 	}
 	return best, true
+}
+
+// ScrubResult reports what one patrol read found and did.
+type ScrubResult struct {
+	Mapped   bool   // LBA had a physical mapping (unmapped pages are skipped)
+	Retries  int    // ECC read-retries the patrol read needed (correctable errors)
+	Salvaged bool   // page was uncorrectable; raw salvage + block retirement ran
+	Repaired bool   // page was rewritten to a fresh location
+	Data     []byte // page contents as read (post-correction)
+	Tag      uint32 // out-of-band integrity tag, if Tagged
+	Tagged   bool
+}
+
+// ScrubPage patrol-reads one logical page on behalf of the background
+// scrubber. A page whose read needed ECC retries (accumulated raw bit
+// errors still within the correction budget) is rewritten to a fresh
+// location so the error count resets before it can grow uncorrectable;
+// an already-uncorrectable page takes the salvage + retire path. The
+// rewrite is guarded against concurrent host writes and GC: it only
+// rebinds the mapping if the LBA still points at the physical page the
+// patrol read, and counts as a NAND write, not a host write.
+func (f *FTL) ScrubPage(p *sim.Proc, lba LBA) (ScrubResult, error) {
+	var r ScrubResult
+	if err := f.checkLBA(lba); err != nil {
+		return r, err
+	}
+	ppa, ok := f.l2p[lba]
+	if !ok {
+		return r, nil
+	}
+	r.Mapped = true
+	data, tag, tagged, retries, err := f.flash.ReadPageTagged(p, ppa)
+	if err != nil {
+		if !errors.Is(err, nand.ErrUncorrectable) {
+			return r, err
+		}
+		data, tag, tagged, err = f.flash.SalvageReadTagged(p, ppa)
+		if err != nil {
+			return r, err
+		}
+		// retireBlock relocates every surviving valid page — including
+		// this one — off the condemned block.
+		if rerr := f.retireBlock(p, f.flash.Config().BlockOf(ppa)); rerr != nil {
+			return r, fmt.Errorf("ftl: scrub retire: %w", rerr)
+		}
+		r.Salvaged, r.Repaired = true, true
+		r.Data, r.Tag, r.Tagged = data, tag, tagged
+		return r, nil
+	}
+	r.Retries = retries
+	r.Data, r.Tag, r.Tagged = data, tag, tagged
+	if retries == 0 {
+		return r, nil
+	}
+	f.gcLock.Acquire(p)
+	defer f.gcLock.Release()
+	if cur, ok := f.l2p[lba]; !ok || cur != ppa {
+		// The host or GC moved the page while we read it; the fresh copy
+		// starts with zero accumulated errors, nothing left to repair.
+		return r, nil
+	}
+	die := int(uint64(ppa)/uint64(f.flash.Config().PagesPerBlock)/uint64(f.flash.Config().BlocksPerDie)+1) % f.flash.Config().Dies()
+	if err := f.relocLocked(p, ppa, lba, data, tag, tagged, die); err != nil {
+		return r, fmt.Errorf("ftl: scrub rewrite: %w", err)
+	}
+	r.Repaired = true
+	return r, nil
 }

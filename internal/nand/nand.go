@@ -140,6 +140,15 @@ type blockState struct {
 	bad        bool
 }
 
+// oobTag is the out-of-band metadata stored next to a page — the
+// simulated spare area. The flash layer never interprets the tag; it
+// carries whatever the host boundary computed (an integrity CRC in
+// this stack) so upper layers can verify pages end to end.
+type oobTag struct {
+	tag    uint32
+	tagged bool
+}
+
 // Stats aggregates operation counters for the flash array. The values
 // are sourced from the environment's obs registry (metric names
 // "nand.*"), so this snapshot and a metrics report can never disagree.
@@ -159,6 +168,7 @@ type Flash struct {
 	dies     []*sim.Resource
 	blocks   []blockState
 	data     map[PPA][]byte
+	oob      map[PPA]oobTag
 
 	o        *obs.Set
 	chTrack  []string // precomputed trace track names (no per-op fmt)
@@ -187,6 +197,7 @@ func New(env *sim.Env, cfg Config) *Flash {
 		cfg:    cfg,
 		blocks: make([]blockState, cfg.Blocks()),
 		data:   make(map[PPA][]byte),
+		oob:    make(map[PPA]oobTag),
 		o:      obs.Of(env),
 		inj:    fault.Of(env),
 	}
@@ -255,9 +266,19 @@ func (f *Flash) checkPPA(ppa PPA) error {
 // read may take stepped ECC retry latency or fail with
 // ErrUncorrectable (wear- and retention-driven BER model).
 func (f *Flash) ReadPage(p *sim.Proc, ppa PPA) ([]byte, error) {
-	out, err := f.readTimed(p, ppa)
+	out, _, _, _, err := f.ReadPageTagged(p, ppa)
+	return out, err
+}
+
+// ReadPageTagged is ReadPage plus the page's out-of-band tag (tagged
+// reports whether one was ever programmed) and the number of ECC
+// read-retry steps the read needed. retries > 0 means the page holds
+// latent-but-correctable errors — the signal the background scrubber
+// acts on before wear or retention pushes the page past the ECC budget.
+func (f *Flash) ReadPageTagged(p *sim.Proc, ppa PPA) (data []byte, tag uint32, tagged bool, retries int, err error) {
+	data, tag, tagged, err = f.readTimed(p, ppa)
 	if err != nil {
-		return nil, err
+		return nil, 0, false, 0, err
 	}
 	if f.inj != nil {
 		blk := f.cfg.BlockOf(ppa)
@@ -268,12 +289,13 @@ func (f *Flash) ReadPage(p *sim.Proc, ppa PPA) ([]byte, error) {
 		rd := f.inj.ReadFault(f.cfg.PageSize, f.blocks[blk].eraseCount, age)
 		if rd.Retries > 0 {
 			p.Sleep(rd.Extra)
+			retries = rd.Retries
 		}
 		if rd.Uncorrectable {
-			return nil, fmt.Errorf("%w: ppa %d", ErrUncorrectable, uint64(ppa))
+			return nil, 0, false, retries, fmt.Errorf("%w: ppa %d", ErrUncorrectable, uint64(ppa))
 		}
 	}
-	return out, nil
+	return data, tag, tagged, retries, nil
 }
 
 // SalvageRead is the FTL's last-resort read of an uncorrectable page:
@@ -282,12 +304,19 @@ func (f *Flash) ReadPage(p *sim.Proc, ppa PPA) ([]byte, error) {
 // the latency already paid on retries and in the block retirement that
 // follows.
 func (f *Flash) SalvageRead(p *sim.Proc, ppa PPA) ([]byte, error) {
+	data, _, _, err := f.readTimed(p, ppa)
+	return data, err
+}
+
+// SalvageReadTagged is SalvageRead plus the page's out-of-band tag, so
+// relocation paths can carry the integrity tag along with rescued data.
+func (f *Flash) SalvageReadTagged(p *sim.Proc, ppa PPA) (data []byte, tag uint32, tagged bool, err error) {
 	return f.readTimed(p, ppa)
 }
 
-func (f *Flash) readTimed(p *sim.Proc, ppa PPA) ([]byte, error) {
+func (f *Flash) readTimed(p *sim.Proc, ppa PPA) ([]byte, uint32, bool, error) {
 	if err := f.checkPPA(ppa); err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	die := f.cfg.DieOf(ppa)
 	ch := f.cfg.ChannelOf(die)
@@ -310,13 +339,25 @@ func (f *Flash) readTimed(p *sim.Proc, ppa PPA) ([]byte, error) {
 	f.hRead.Observe(sim.Duration(f.env.Now() - start))
 	out := make([]byte, f.cfg.PageSize)
 	copy(out, f.data[ppa])
-	return out, nil
+	t := f.oob[ppa]
+	return out, t.tag, t.tagged, nil
 }
 
 // ProgramPage transfers data over the channel and programs one page.
 // Data shorter than a page is zero-padded. Programming must follow the
 // block's sequential-page order on an erased block.
 func (f *Flash) ProgramPage(p *sim.Proc, ppa PPA, data []byte) error {
+	return f.programPage(p, ppa, data, oobTag{})
+}
+
+// ProgramPageTagged is ProgramPage plus an out-of-band tag programmed
+// into the page's spare area alongside the data. The flash layer never
+// interprets the tag; ReadPageTagged hands it back on every read.
+func (f *Flash) ProgramPageTagged(p *sim.Proc, ppa PPA, data []byte, tag uint32) error {
+	return f.programPage(p, ppa, data, oobTag{tag: tag, tagged: true})
+}
+
+func (f *Flash) programPage(p *sim.Proc, ppa PPA, data []byte, t oobTag) error {
 	if err := f.checkPPA(ppa); err != nil {
 		return err
 	}
@@ -354,6 +395,11 @@ func (f *Flash) ProgramPage(p *sim.Proc, ppa PPA, data []byte) error {
 	stored := make([]byte, f.cfg.PageSize)
 	copy(stored, data)
 	f.data[ppa] = stored
+	if t.tagged {
+		f.oob[ppa] = t
+	} else {
+		delete(f.oob, ppa)
+	}
 	f.cPrograms.Inc()
 	f.cBytesWritten.Add(uint64(f.cfg.PageSize))
 	f.hProgram.Observe(sim.Duration(f.env.Now() - start))
@@ -395,6 +441,7 @@ func (f *Flash) EraseBlock(p *sim.Proc, blk BlockID) error {
 	base := PPA(uint64(blk) * uint64(f.cfg.PagesPerBlock))
 	for i := 0; i < f.cfg.PagesPerBlock; i++ {
 		delete(f.data, base+PPA(i))
+		delete(f.oob, base+PPA(i))
 		if f.inj != nil {
 			delete(f.progAt, base+PPA(i))
 		}
@@ -428,4 +475,31 @@ func (f *Flash) PeekPage(ppa PPA) []byte {
 	out := make([]byte, f.cfg.PageSize)
 	copy(out, f.data[ppa])
 	return out
+}
+
+// PeekTag returns a page's out-of-band tag and whether one was
+// programmed — the verification-hook counterpart of PeekPage.
+func (f *Flash) PeekTag(ppa PPA) (uint32, bool) {
+	t := f.oob[ppa]
+	return t.tag, t.tagged
+}
+
+// CorruptPage flips the low bit of the first n stored bytes of a page —
+// the silent-corruption hook the integrity tests use to prove the CRC
+// tags actually detect a page a layer mangled in flight. The BER fault
+// model perturbs *latency* and verdicts while keeping bytes intact;
+// this hook is how tests make bytes lie. Returns false when the page
+// was never programmed (nothing to corrupt).
+func (f *Flash) CorruptPage(ppa PPA, n int) bool {
+	data, ok := f.data[ppa]
+	if !ok {
+		return false
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	for i := 0; i < n; i++ {
+		data[i] ^= 1
+	}
+	return true
 }
