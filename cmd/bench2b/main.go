@@ -34,21 +34,41 @@
 // -benchjson records the wall-clock performance of the simulator itself
 // — events/sec, allocs/event, per-experiment wall time — so kernel
 // speedups and regressions are measured run over run, not asserted.
+// -obsbench records the observability layer's own overhead (sampler
+// and flight recorder on/off) in the same spirit (BENCH_obs.json).
+//
+// -sample enables virtual-time metric timelines: every environment's
+// registry is snapshotted at the given virtual cadence into
+// delta-encoded windows. -timeline writes the merged timeline (JSON,
+// or CSV when the path ends in .csv); like every other artifact it is
+// byte-identical at any -j.
+//
+// -listen serves the run live over HTTP: Prometheus text exposition at
+// /metrics, the merged timeline at /timeline (and /timeline.csv), and
+// Server-Sent-Events batch progress at /progress. The server keeps
+// serving after the experiments finish, until interrupted (SIGINT),
+// so the final state can still be scraped.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"twobssd/internal/bench"
 	"twobssd/internal/obs"
+	"twobssd/internal/sim"
 )
 
 // experiment is one runnable paper artifact; run writes its tables to w.
@@ -153,9 +173,13 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write merged metrics snapshot JSON to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	benchPath := flag.String("benchjson", "", "write wall-clock kernel benchmark JSON to this file")
+	obsbenchPath := flag.String("obsbench", "", "write observability-overhead benchmark JSON to this file")
+	samplePeriod := flag.Duration("sample", 0, "virtual-time cadence for metric timelines (default 1ms when -timeline/-listen is given)")
+	timelinePath := flag.String("timeline", "", "write the merged metric timeline to this file (.csv extension selects CSV, else JSON)")
+	listenAddr := flag.String("listen", "", "serve /metrics, /timeline and /progress on this address; keeps serving after the run until interrupted")
 	seeds := flag.Int("seeds", 256, "seed count for the fuzz experiment")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-seeds N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-seeds N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [-obsbench o.json] [-sample D] [-timeline t.json] [-listen addr] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd probe ablations all\n")
 		fmt.Fprintf(os.Stderr, "reliability (not in \"all\"): crash crash-smoke fuzz fuzz-smoke\n")
 	}
@@ -166,11 +190,16 @@ func main() {
 	}
 	bench.SetJobs(*jobs)
 
+	sampling := *samplePeriod > 0 || *timelinePath != "" || *listenAddr != ""
+
 	// Open the report files before running anything: a bad path should
 	// fail now, not after minutes of experiments.
 	var col *obs.Collector
-	var metricsFile, traceFile, benchFile *os.File
-	if *metricsPath != "" || *tracePath != "" || *benchPath != "" {
+	var metricsFile, traceFile, benchFile, timelineFile, obsbenchFile *os.File
+	if *obsbenchPath != "" {
+		obsbenchFile = createReport(*obsbenchPath)
+	}
+	if *metricsPath != "" || *tracePath != "" || *benchPath != "" || sampling {
 		if *metricsPath != "" {
 			metricsFile = createReport(*metricsPath)
 		}
@@ -180,7 +209,36 @@ func main() {
 		if *benchPath != "" {
 			benchFile = createReport(*benchPath)
 		}
+		if *timelinePath != "" {
+			timelineFile = createReport(*timelinePath)
+		}
 		col = obs.NewCollector(traceFile != nil)
+		if sampling {
+			col.EnableSampling(sim.Duration(samplePeriod.Nanoseconds()), 0)
+		}
+	}
+
+	// Serve mode: bind before running so a bad address fails fast and
+	// the endpoints are live while the experiments execute.
+	var live *obs.LiveServer
+	var srv *http.Server
+	if *listenAddr != "" {
+		live = obs.NewLiveServer()
+		live.Attach(col)
+		ln, err := net.Listen("tcp", *listenAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench2b: %v\n", err)
+			os.Exit(1)
+		}
+		srv = &http.Server{Handler: live.Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "bench2b: serve: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "bench2b: serving observability on http://%s (interrupt to stop)\n", ln.Addr())
+	}
+	if col != nil {
 		col.Install()
 	}
 
@@ -199,7 +257,13 @@ func main() {
 	var selected []experiment
 	args := flag.Args()
 	if len(args) == 0 {
-		args = []string{"all"}
+		if *obsbenchPath != "" {
+			// An explicit -obsbench with no experiment list runs just
+			// the overhead sweep, mirroring a targeted -benchjson run.
+			args = nil
+		} else {
+			args = []string{"all"}
+		}
 	}
 	for _, arg := range args {
 		if arg == "all" {
@@ -218,10 +282,23 @@ func main() {
 	var ms0 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	walls := runAll(selected, *jobs)
+	walls := runAll(selected, *jobs, live)
 	wallTotal := time.Since(start)
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
+
+	if obsbenchFile != nil {
+		rep := bench.ObsOverhead(scale)
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2b: %v\n", err)
+			os.Exit(1)
+		}
+		writeReport(obsbenchFile, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		})
+	}
 
 	if col != nil {
 		col.Uninstall()
@@ -230,6 +307,13 @@ func main() {
 		}
 		if traceFile != nil {
 			writeReport(traceFile, col.WriteTraceJSON)
+		}
+		if timelineFile != nil {
+			emit := col.WriteTimelineJSON
+			if len(*timelinePath) > 4 && (*timelinePath)[len(*timelinePath)-4:] == ".csv" {
+				emit = col.WriteTimelineCSV
+			}
+			writeReport(timelineFile, emit)
 		}
 		if benchFile != nil {
 			rep := kernelReport{
@@ -256,6 +340,20 @@ func main() {
 			})
 		}
 	}
+	if srv != nil {
+		// Keep serving the finished run until interrupted, then shut
+		// down gracefully (lets in-flight scrapes and the final SSE
+		// events complete).
+		live.Finish()
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		<-ctx.Done()
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			srv.Close()
+		}
+	}
 	if gateFailed.Load() {
 		fmt.Fprintln(os.Stderr, "bench2b: reliability campaign failed (durability violation or model divergence)")
 		os.Exit(1)
@@ -267,14 +365,27 @@ func main() {
 // this goroutine (the legacy behavior); otherwise experiments run
 // concurrently, each into its own buffer, and buffers are printed as
 // their turn comes — output order never depends on scheduling. Returns
-// each experiment's wall time.
-func runAll(selected []experiment, jobs int) []time.Duration {
+// each experiment's wall time. When live is non-nil, batch progress
+// (done/total, current experiment) feeds the /progress stream.
+func runAll(selected []experiment, jobs int, live *obs.LiveServer) []time.Duration {
+	if live != nil {
+		live.SetTotal(len(selected))
+	}
+	step := func(ex experiment, w io.Writer) time.Duration {
+		if live != nil {
+			live.SetLabel(ex.id)
+		}
+		t0 := time.Now()
+		ex.run(w)
+		if live != nil {
+			live.StepDone()
+		}
+		return time.Since(t0)
+	}
 	walls := make([]time.Duration, len(selected))
 	if jobs <= 1 || len(selected) == 1 {
 		for i, ex := range selected {
-			t0 := time.Now()
-			ex.run(os.Stdout)
-			walls[i] = time.Since(t0)
+			walls[i] = step(ex, os.Stdout)
 		}
 		return walls
 	}
@@ -288,9 +399,7 @@ func runAll(selected []experiment, jobs int) []time.Duration {
 		slots[i] = &slot{done: make(chan struct{})}
 		go func() {
 			defer close(slots[i].done)
-			t0 := time.Now()
-			ex.run(&slots[i].buf)
-			walls[i] = time.Since(t0)
+			walls[i] = step(ex, &slots[i].buf)
 		}()
 	}
 	for _, s := range slots {

@@ -72,35 +72,46 @@ func TestExperimentsDeterministic(t *testing.T) {
 
 // TestJobsInvariance runs the whole experiment suite at -j 1 (strictly
 // sequential, the legacy execution order) and at -j 8 and demands
-// byte-identical tables AND an identical merged metrics snapshot.
-// Worker parallelism must be invisible in every result.
+// byte-identical tables AND an identical merged metrics snapshot AND an
+// identical merged metric timeline. Worker parallelism must be
+// invisible in every result, sampled series included.
 func TestJobsInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep; skipped with -short")
 	}
-	sweep := func(jobs int) (tables, metrics []byte) {
+	sweep := func(jobs int) (tables, metrics, timeline []byte) {
 		old := Jobs()
 		SetJobs(jobs)
 		defer SetJobs(old)
 		col := obs.NewCollector(false)
+		col.EnableSampling(0, 0)
 		col.Install()
 		defer col.Uninstall()
 		var out bytes.Buffer
 		for _, ex := range quickExperiments() {
 			ex.run(&out)
 		}
-		var m bytes.Buffer
+		var m, tl bytes.Buffer
 		if err := col.WriteMetricsJSON(&m); err != nil {
 			t.Fatalf("jobs=%d: metrics snapshot: %v", jobs, err)
 		}
-		return out.Bytes(), m.Bytes()
+		if err := col.WriteTimelineJSON(&tl); err != nil {
+			t.Fatalf("jobs=%d: timeline: %v", jobs, err)
+		}
+		return out.Bytes(), m.Bytes(), tl.Bytes()
 	}
-	t1, m1 := sweep(1)
-	t8, m8 := sweep(8)
+	t1, m1, tl1 := sweep(1)
+	t8, m8, tl8 := sweep(8)
 	if !bytes.Equal(t1, t8) {
 		t.Errorf("table output differs between -j 1 and -j 8")
 	}
 	if !bytes.Equal(m1, m8) {
 		t.Errorf("merged metrics snapshot differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", m1, m8)
+	}
+	if !bytes.Equal(tl1, tl8) {
+		t.Errorf("merged timeline differs between -j 1 and -j 8 (j1 %d bytes, j8 %d bytes)", len(tl1), len(tl8))
+	}
+	if len(tl1) < 100 {
+		t.Errorf("merged timeline is empty: %s", tl1)
 	}
 }

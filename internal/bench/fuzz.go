@@ -77,6 +77,11 @@ func (r *FuzzReport) WriteText(w io.Writer) error {
 				return err
 			}
 		}
+		if sr.Flight != nil {
+			if err := sr.Flight.WriteText(w); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,176 @@
+// The observability-overhead microbenchmark behind `bench2b -obsbench`:
+// the same fixed dual-path workload run under four configurations —
+// bare, sampler on, flight recorder on, both — measuring wall time,
+// events/sec and allocs/event for each, so the cost of leaving the
+// timeline sampler or the flight recorder on is a recorded number
+// (BENCH_obs.json), not an assumption. The companion guarantee (the
+// disabled sampler adds zero steady-state allocations) is asserted in
+// internal/obs's tests.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"twobssd/internal/obs"
+	"twobssd/internal/sim"
+	"twobssd/internal/vfs"
+)
+
+// ObsBenchResult is one configuration's measured cost.
+type ObsBenchResult struct {
+	Name           string  `json:"name"`
+	Sampler        bool    `json:"sampler"`
+	Flight         bool    `json:"flight"`
+	WallNs         int64   `json:"wall_ns"`
+	VirtualNs      int64   `json:"virtual_ns"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	TimelinePoints int     `json:"timeline_points"`
+	FlightEvents   int     `json:"flight_events"`
+}
+
+// ObsReport is the `bench2b -obsbench` record, the BENCH_kernel.json
+// sibling for the observability layer.
+type ObsReport struct {
+	Schema    string           `json:"schema"`
+	GoVersion string           `json:"go_version"`
+	NumCPU    int              `json:"num_cpu"`
+	Ops       int              `json:"ops"`
+	Results   []ObsBenchResult `json:"results"`
+}
+
+// obsBenchWorkload drives one environment through a mixed block + BA
+// workload sized by ops — the same shape as the observability probe,
+// but tight enough to make per-event overhead visible.
+func obsBenchWorkload(env *sim.Env, ops int) {
+	ssd := SSD2B(env)
+	fs := vfs.New(ssd.Device())
+	ps := ssd.PageSize()
+	env.Go("obsbench", func(p *sim.Proc) {
+		f, err := fs.Create("obs.dat", int64(64*ps))
+		if err != nil {
+			panic(err)
+		}
+		pin, err := fs.Create("obs.pin", int64(8*ps))
+		if err != nil {
+			panic(err)
+		}
+		if err := ssd.BAPin(p, 0, 0, pin.LBA(0), 8); err != nil {
+			panic(err)
+		}
+		page := make([]byte, ps)
+		small := make([]byte, 256)
+		for i := 0; i < ops; i++ {
+			page[0] = byte(i)
+			if err := f.WriteAt(p, int64((i%64)*ps), page); err != nil {
+				panic(err)
+			}
+			if err := f.ReadAt(p, int64((i%64)*ps), page); err != nil {
+				panic(err)
+			}
+			small[0] = byte(i)
+			if err := ssd.Mmio().Write(p, (i%8)*ps, small); err != nil {
+				panic(err)
+			}
+			if i%16 == 15 {
+				if err := ssd.BASync(p, 0); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if err := ssd.Device().Flush(p); err != nil {
+			panic(err)
+		}
+	})
+	env.Run()
+}
+
+// ObsOverhead runs the four-configuration overhead sweep. Virtual-time
+// results are identical across configurations by construction (the
+// sampler and recorder only observe); wall-clock numbers measure what
+// observation costs.
+func ObsOverhead(s Scale) *ObsReport {
+	ops := int(s.AppOps)
+	if ops < 500 {
+		ops = 500
+	}
+	rep := &ObsReport{
+		Schema:    "bench2b/obs-v1",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Ops:       ops,
+	}
+	configs := []struct {
+		name            string
+		sampler, flight bool
+	}{
+		{"off", false, false},
+		{"sampler", true, false},
+		{"flight", false, true},
+		{"sampler+flight", true, true},
+	}
+	for _, cfg := range configs {
+		env := sim.NewEnv()
+		set := obs.Of(env)
+		var sm *obs.Sampler
+		if cfg.sampler {
+			sm = set.StartSampler(100*sim.Microsecond, 0)
+		}
+		if cfg.flight {
+			set.EnableFlightRecorder(0)
+		}
+		runtime.GC()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		obsBenchWorkload(env, ops)
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+
+		r := ObsBenchResult{
+			Name:      cfg.name,
+			Sampler:   cfg.sampler,
+			Flight:    cfg.flight,
+			WallNs:    wall.Nanoseconds(),
+			VirtualNs: int64(env.Now()),
+			Events:    env.Events(),
+		}
+		if r.Events > 0 {
+			r.EventsPerSec = float64(r.Events) / wall.Seconds()
+			r.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(r.Events)
+		}
+		if sm != nil {
+			r.TimelinePoints = len(sm.Timeline().Points)
+		}
+		if tr := set.Tracer(); tr.Ring() {
+			r.FlightEvents = len(tr.Events())
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}
+
+// WriteText renders the sweep as a table. Wall-clock columns vary run
+// to run; the virtual time and event count must not.
+func (r *ObsReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== obs overhead: %d ops per config ==\n", r.Ops); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %12s %12s %14s %12s %8s %8s\n",
+		"config", "events", "virtual_ms", "events/sec", "allocs/ev", "points", "flight"); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		if _, err := fmt.Fprintf(w, "%-16s %12d %12.2f %14.0f %12.3f %8d %8d\n",
+			res.Name, res.Events, float64(res.VirtualNs)/1e6,
+			res.EventsPerSec, res.AllocsPerEvent,
+			res.TimelinePoints, res.FlightEvents); err != nil {
+			return err
+		}
+	}
+	return nil
+}

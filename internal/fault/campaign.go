@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"twobssd/internal/obs"
 	"twobssd/internal/sim"
 )
 
@@ -92,6 +93,11 @@ type PointResult struct {
 	Phantom []string // recovered keys never appended / wrong content (sorted)
 	Faults  FaultCounts
 	Err     string
+
+	// Flight is the environment's flight-recorder dump, captured only
+	// when the point violated the durability contract: the last spans
+	// and instants leading up to the trigger, plus metrics at failure.
+	Flight *obs.FlightDump
 }
 
 // Violation reports whether the point breaks the durability contract:
@@ -202,6 +208,10 @@ func (c *Campaign) runTrial(i int, trig Trigger) PointResult {
 	pr := PointResult{Index: i, Trigger: trig.String()}
 	env := sim.NewEnv()
 	in := Install(env, Plan{Seed: c.pointSeed(i), PowerLoss: trig})
+	// Always-on flight recorder: bounded ring, constant memory, so the
+	// one point in thousands that violates hands over its last spans.
+	set := obs.Of(env)
+	set.EnableFlightRecorder(0)
 	env.Go("fault.point", func(p *sim.Proc) {
 		cyc, err := c.Build(env, p)
 		if err != nil {
@@ -264,6 +274,11 @@ func (c *Campaign) runTrial(i int, trig Trigger) PointResult {
 		}
 	})
 	env.Run()
+	if pr.Violation() {
+		d := set.FlightDump(fmt.Sprintf("campaign %s point %d trigger %s: durability violation",
+			c.Name, i, pr.Trigger))
+		pr.Flight = &d
+	}
 	return pr
 }
 
@@ -391,10 +406,23 @@ func (r *Report) WriteText(w io.Writer) error {
 		fmt.Fprintf(w, "  VIOLATION point %d trigger %s: lost=%d %v phantom=%d %v err=%q\n",
 			pr.Index, pr.Trigger, len(pr.Lost), pr.Lost, len(pr.Phantom), pr.Phantom, pr.Err)
 	}
+	// Post-mortem context: the minimal point's flight dump when the
+	// shrinker found one, otherwise the first violation's.
+	dump := func(pr *PointResult) error {
+		if pr == nil || pr.Flight == nil {
+			return nil
+		}
+		return pr.Flight.WriteText(w)
+	}
 	if r.Shrunk != nil {
-		_, err := fmt.Fprintf(w, "  minimal failing crash point: %s (lost=%d phantom=%d)\n",
-			r.Shrunk.Trigger, len(r.Shrunk.Lost), len(r.Shrunk.Phantom))
-		return err
+		if _, err := fmt.Fprintf(w, "  minimal failing crash point: %s (lost=%d phantom=%d)\n",
+			r.Shrunk.Trigger, len(r.Shrunk.Lost), len(r.Shrunk.Phantom)); err != nil {
+			return err
+		}
+		return dump(r.Shrunk)
+	}
+	if len(viol) > 0 {
+		return dump(&viol[0])
 	}
 	return nil
 }

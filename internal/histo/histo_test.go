@@ -196,3 +196,121 @@ func TestPropertyExactMean(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Windowed-delta edges (PR 6): empty window, single-sample window, and
+// merges involving empty windows. PR 1 fixed empty-histogram semantics
+// once; these pin the same rules for per-window snapshots.
+
+func TestWindowEmpty(t *testing.T) {
+	var h H
+	h.Observe(100)
+	h.Observe(200)
+	prev := h.Clone()
+	w := h.WindowSince(&prev) // nothing observed since the snapshot
+	if !w.Empty() || w.N != 0 || w.Sum != 0 || len(w.Buckets) != 0 {
+		t.Fatalf("empty window not empty: %+v", w)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := w.Quantile(q); got != 0 {
+			t.Fatalf("empty window q%.2f = %v, want 0", q, got)
+		}
+	}
+	if w.Mean() != 0 {
+		t.Fatalf("empty window mean = %v, want 0", w.Mean())
+	}
+}
+
+func TestWindowSingleSample(t *testing.T) {
+	var h H
+	h.Observe(500)
+	prev := h.Clone()
+	h.Observe(1000)
+	w := h.WindowSince(&prev)
+	if w.N != 1 || w.Sum != 1000 {
+		t.Fatalf("single-sample window n=%d sum=%v, want 1/1000", w.N, w.Sum)
+	}
+	// Every quantile of a one-sample window is that sample's bucket
+	// (log-bucketed, so reconstruction carries ~4% error).
+	lo, hi := sim.Duration(float64(1000)*0.96), sim.Duration(1000)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := w.Quantile(q)
+		if got < lo || got > hi {
+			t.Fatalf("single-sample q%.2f = %v, want within [%v,%v]", q, got, lo, hi)
+		}
+	}
+	if w.Mean() != 1000 {
+		t.Fatalf("single-sample mean = %v, want 1000 (sums are exact)", w.Mean())
+	}
+}
+
+func TestWindowSinceNil(t *testing.T) {
+	var h H
+	h.Observe(100)
+	w := h.WindowSince(nil)
+	if w.N != 1 || w.Sum != 100 {
+		t.Fatalf("window since nil = %+v, want the full histogram", w)
+	}
+}
+
+func TestWindowMergeOfEmpty(t *testing.T) {
+	var h H
+	h.Observe(100)
+	h.Observe(300)
+	full := h.WindowSince(nil)
+
+	// empty.Merge(full) copies; full.Merge(empty) is a no-op.
+	var a Window
+	a.Merge(full)
+	if a.N != 2 || a.Sum != 400 || len(a.Buckets) != len(full.Buckets) {
+		t.Fatalf("merge into empty = %+v, want copy of %+v", a, full)
+	}
+	b := full
+	before := b.N
+	b.Merge(Window{})
+	if b.N != before || b.Sum != 400 {
+		t.Fatalf("merge of empty changed window: %+v", b)
+	}
+	// And two empties stay empty.
+	var c, d Window
+	c.Merge(d)
+	if !c.Empty() {
+		t.Fatalf("empty+empty = %+v", c)
+	}
+}
+
+func TestWindowMergeInterleaved(t *testing.T) {
+	var h1, h2 H
+	for _, v := range []sim.Duration{10, 1000, 100000} {
+		h1.Observe(v)
+	}
+	for _, v := range []sim.Duration{100, 1000, 10000} {
+		h2.Observe(v)
+	}
+	w := h1.WindowSince(nil)
+	w.Merge(h2.WindowSince(nil))
+	if w.N != 6 || w.Sum != 112110 {
+		t.Fatalf("merged window n=%d sum=%v, want 6/112110", w.N, w.Sum)
+	}
+	// Bucket list stays sorted and counts add where both sides hit the
+	// same bucket (1000 appears in both).
+	last := int32(-1)
+	var total uint64
+	for _, b := range w.Buckets {
+		if b.Idx <= last {
+			t.Fatalf("bucket indexes not strictly sorted: %+v", w.Buckets)
+		}
+		last = b.Idx
+		total += b.Count
+	}
+	if total != 6 {
+		t.Fatalf("bucket counts sum to %d, want 6", total)
+	}
+	// Window quantiles match the equivalent cumulative histogram's
+	// bucket reconstruction.
+	var all H
+	all.Merge(&h1)
+	all.Merge(&h2)
+	if got, want := w.Quantile(0.5), all.Quantile(0.5); got != want {
+		t.Fatalf("merged window p50 = %v, cumulative p50 = %v", got, want)
+	}
+}

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"encoding/json"
 	"io"
 	"sort"
 	"sync"
@@ -26,12 +25,34 @@ type Collector struct {
 	tracing bool
 	prev    func(*Set)
 	sets    []*Set
+
+	sampleEvery  sim.Duration
+	samplePoints int
+
+	// OnSampler, when non-nil, observes every sampler the collector
+	// starts (the serving layer hooks live publication here). Set it
+	// before Install, from one goroutine.
+	OnSampler func(*Sampler)
 }
 
 // NewCollector returns a collector; with tracing true, every collected
 // environment gets span tracing enabled at creation.
 func NewCollector(tracing bool) *Collector {
 	return &Collector{tracing: tracing}
+}
+
+// EnableSampling makes the collector start a timeline sampler (at the
+// given virtual cadence, with the given ring capacity; non-positive
+// values select the obs defaults) on every environment it collects.
+// Call before Install.
+func (c *Collector) EnableSampling(every sim.Duration, maxPoints int) {
+	if every <= 0 {
+		every = DefaultSampleInterval
+	}
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	c.sampleEvery, c.samplePoints = every, maxPoints
 }
 
 // Install hooks the collector into OnNewSet so every subsequently
@@ -57,6 +78,12 @@ func (c *Collector) Collect(s *Set) {
 	if c.tracing {
 		s.EnableTracing()
 	}
+	if c.sampleEvery > 0 {
+		sm := s.StartSampler(c.sampleEvery, c.samplePoints)
+		if c.OnSampler != nil {
+			c.OnSampler(sm)
+		}
+	}
 	c.mu.Lock()
 	c.sets = append(c.sets, s)
 	c.mu.Unlock()
@@ -74,21 +101,20 @@ func (c *Collector) Sets() []*Set {
 
 // sortedSets returns the collected sets in a deterministic order
 // independent of collection (hence goroutine-scheduling) order: sets
-// sort by their canonical snapshot JSON. encoding/json emits map keys
-// sorted, so the key is canonical; two sets can tie only when their
-// snapshots are byte-identical, in which case their contributions to
-// any fold are identical too and the tie order cannot matter.
+// sort by their canonical snapshot JSON plus, when sampling is on,
+// their timeline JSON. encoding/json emits map keys sorted, so the key
+// is canonical; two sets can tie only when both artifacts are
+// byte-identical, in which case their contributions to any fold are
+// identical too and the tie order cannot matter.
 func (c *Collector) sortedSets() []*Set {
 	sets := c.Sets()
 	keys := make([]string, len(sets))
 	for i, s := range sets {
-		b, err := json.Marshal(s.Snapshot())
-		if err != nil {
-			// Snapshot marshaling cannot fail (plain maps of numbers);
-			// fall back to collection order rather than dropping data.
-			return sets
+		key := canonicalJSON(s.Snapshot())
+		if sm := s.Sampler(); sm != nil {
+			key += "\x00" + canonicalJSON(sm.Timeline())
 		}
-		keys[i] = string(b)
+		keys[i] = key
 	}
 	idx := make([]int, len(sets))
 	for i := range idx {
@@ -143,14 +169,49 @@ func (c *Collector) WriteMetricsJSON(w io.Writer) error {
 	return c.MergedSnapshot().WriteJSON(w)
 }
 
+// MergedTimeline folds every sampled environment's timeline into one:
+// window k aggregates window k of each environment (all virtual clocks
+// start at zero). Counter deltas add and histogram windows merge;
+// gauges overwrite in sorted-set order. Environments are visited in
+// the same deterministic order as MergedSnapshot, so the timeline is
+// byte-identical no matter how experiment workers were scheduled.
+func (c *Collector) MergedTimeline() Timeline {
+	var streams [][]point
+	var dropped uint64
+	interval := c.sampleEvery
+	for _, s := range c.sortedSets() {
+		sm := s.Sampler()
+		if sm == nil {
+			continue
+		}
+		if interval <= 0 {
+			interval = sm.interval
+		}
+		streams = append(streams, sm.points())
+		dropped += sm.dropped
+	}
+	return mergeTimelines(interval, streams, dropped)
+}
+
+// WriteTimelineJSON writes the merged timeline as JSON.
+func (c *Collector) WriteTimelineJSON(w io.Writer) error {
+	return c.MergedTimeline().WriteJSON(w)
+}
+
+// WriteTimelineCSV writes the merged timeline in long-form CSV.
+func (c *Collector) WriteTimelineCSV(w io.Writer) error {
+	return c.MergedTimeline().WriteCSV(w)
+}
+
 // WriteTraceJSON writes one Chrome trace combining every collected
-// environment's tracer (environments without tracing are skipped),
+// environment's full tracer (environments without tracing — including
+// those carrying only a bounded flight-recorder ring — are skipped),
 // in the same deterministic set order as MergedSnapshot.
 func (c *Collector) WriteTraceJSON(w io.Writer) error {
 	var parts []TracePart
 	for _, s := range c.sortedSets() {
-		if s.Tracer() != nil {
-			parts = append(parts, TracePart{Tracer: s.Tracer()})
+		if t := s.Tracer(); t != nil && !t.Ring() {
+			parts = append(parts, TracePart{Tracer: t})
 		}
 	}
 	return WriteTraceJSON(w, parts)

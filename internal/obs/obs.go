@@ -15,6 +15,27 @@
 // stages — host submission, firmware, NAND array, PCIe link, BA-buffer
 // pin/flush; this layer is what makes those attributions measurable on
 // the simulated stack rather than asserted.
+//
+// # Merge semantics
+//
+// When registries are folded across environments (Registry.MergeInto,
+// Collector.MergedSnapshot, timeline merges), each metric kind has a
+// fixed rule:
+//
+//   - Counters AGGREGATE: values (and per-window deltas) add.
+//   - Histograms AGGREGATE: bucket counts, sums and extremes merge.
+//   - Gauges OVERWRITE: the value from the last-merged registry wins.
+//     The collector visits environments in a deterministic sorted
+//     order, so the winner is schedule-independent — but a gauge in a
+//     merged report is one environment's reading, not a fleet total.
+//   - GaugeFuncs OVERWRITE like gauges. They are evaluated at
+//     snapshot/merge time in sorted name order, so callbacks with side
+//     effects observe a deterministic evaluation sequence.
+//
+// Beyond snapshots, the package provides virtual-time metric timelines
+// (timeline.go), a bounded always-on flight recorder for post-mortem
+// dumps (flight.go), and an HTTP serving layer — Prometheus text
+// exposition, timeline JSON and SSE live progress (serve.go).
 package obs
 
 import (
@@ -125,10 +146,12 @@ func (r *Registry) Histo(name string) *histo.H {
 	return h
 }
 
-// MergeInto folds this registry's metrics into dst: counters add,
-// histograms merge, gauges (and sampled gauge funcs) overwrite. The
-// collector uses it to aggregate the registries of every environment an
-// experiment created into one report.
+// MergeInto folds this registry's metrics into dst following the
+// package's merge-semantics table: counters and histograms aggregate,
+// gauges and sampled gauge funcs overwrite. Gauge funcs are evaluated
+// here, in sorted name order — snapshot-time sampling must not depend
+// on map iteration order (callbacks may have side effects, and two
+// merges of the same registry must agree).
 func (r *Registry) MergeInto(dst *Registry) {
 	for name, c := range r.counters {
 		dst.Counter(name).Add(c.Value())
@@ -136,8 +159,8 @@ func (r *Registry) MergeInto(dst *Registry) {
 	for name, g := range r.gauges {
 		dst.Gauge(name).Set(g.Value())
 	}
-	for name, fn := range r.gaugeFns {
-		dst.Gauge(name).Set(fn())
+	for _, name := range sortedKeys(r.gaugeFns) {
+		dst.Gauge(name).Set(r.gaugeFns[name]())
 	}
 	for name, h := range r.histos {
 		dst.Histo(name).Merge(h)
@@ -195,8 +218,8 @@ func (r *Registry) SnapshotAt(now sim.Time) Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
 	}
-	for name, fn := range r.gaugeFns {
-		s.Gauges[name] = fn()
+	for _, name := range sortedKeys(r.gaugeFns) {
+		s.Gauges[name] = r.gaugeFns[name]()
 	}
 	for name, h := range r.histos {
 		s.Histograms[name] = snapHisto(h)
@@ -255,10 +278,11 @@ func (s Snapshot) WriteText(w io.Writer) error {
 // Set is the observability state of one simulation environment: its
 // registry plus (when enabled) its span tracer.
 type Set struct {
-	env    *sim.Env
-	reg    *Registry
-	tracer *Tracer
-	aux    interface{}
+	env     *sim.Env
+	reg     *Registry
+	tracer  *Tracer
+	sampler *Sampler
+	aux     interface{}
 }
 
 // OnNewSet, when non-nil, is invoked each time Of lazily creates a Set
@@ -298,10 +322,17 @@ func (s *Set) Tracer() *Tracer { return s.tracer }
 // EnableTracing switches span recording on (idempotent) and returns the
 // tracer. Call it before constructing the components to be traced —
 // they read the tracer through the Set on every operation, so enabling
-// late also works, it just misses earlier events.
+// late also works, it just misses earlier events. If the environment
+// already has a flight recorder, it is upgraded in place to a full
+// tracer, keeping the events recorded so far.
 func (s *Set) EnableTracing() *Tracer {
 	if s.tracer == nil {
 		s.tracer = newTracer(s.env)
+	} else if s.tracer.ring {
+		s.tracer.events = s.tracer.Events()
+		s.tracer.ring = false
+		s.tracer.head = 0
+		s.tracer.maxEvents = DefaultMaxEvents
 	}
 	return s.tracer
 }

@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twobssd/internal/histo"
+	"twobssd/internal/sim"
+)
+
+// The serving layer: bench2b -listen exposes a live view of a running
+// (or finished) experiment batch over HTTP — Prometheus text exposition
+// at /metrics, the merged virtual-time timeline at /timeline, and
+// Server-Sent Events progress at /progress.
+//
+// The simulation side is single-threaded per environment and holds no
+// locks on its hot path; HTTP readers arrive on arbitrary goroutines at
+// arbitrary times. The bridge is a published-snapshot hand-off: each
+// sampler gets one atomic.Pointer slot, and its publish hook (running
+// inside the simulation's own goroutine, between events) builds an
+// immutable Published value — cumulative counters and gauges, cloned
+// histograms, the timeline ring's points — and stores it into the slot.
+// Readers only ever Load a slot and walk an immutable value, so no
+// reader can observe a half-written snapshot and no simulation thread
+// ever blocks on a serving lock.
+
+// Published is one sampler's immutable published state. Everything in
+// it is a copy taken inside the simulation goroutine; readers must not
+// mutate it (they cannot invalidate the simulation, but they would race
+// each other).
+type Published struct {
+	TimeNs   int64
+	Events   uint64
+	Final    bool
+	Interval sim.Duration
+	Dropped  uint64
+
+	Counters map[string]uint64
+	Gauges   map[string]float64
+	Histos   map[string]*histo.H
+
+	Points []point
+}
+
+// published builds the immutable snapshot the serving layer hands to
+// HTTP readers. Runs inside the simulation goroutine.
+func (sm *Sampler) published(final bool) *Published {
+	r := sm.set.reg
+	p := &Published{
+		TimeNs:   int64(sm.set.env.Now()),
+		Events:   sm.set.env.Events(),
+		Final:    final,
+		Interval: sm.interval,
+		Dropped:  sm.dropped,
+		Counters: make(map[string]uint64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)+len(r.gaugeFns)),
+		Histos:   make(map[string]*histo.H, len(r.histos)),
+		Points:   sm.points(),
+	}
+	for name, c := range r.counters {
+		p.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		p.Gauges[name] = g.Value()
+	}
+	for _, name := range sortedKeys(r.gaugeFns) {
+		p.Gauges[name] = r.gaugeFns[name]()
+	}
+	for name, h := range r.histos {
+		c := h.Clone()
+		p.Histos[name] = &c
+	}
+	return p
+}
+
+// LiveServer aggregates the published snapshots of every sampler it is
+// attached to and serves them. One LiveServer outlives any number of
+// environments; experiment runners report batch progress through
+// SetTotal / StepDone / SetLabel.
+type LiveServer struct {
+	mu    sync.Mutex
+	slots []*atomic.Pointer[Published]
+
+	done     atomic.Int64
+	total    atomic.Int64
+	label    atomic.Pointer[string]
+	finished atomic.Bool
+	start    time.Time
+
+	// SSEPeriod is the wall-clock cadence of /progress events
+	// (default 500ms). Set before Handler is used.
+	SSEPeriod time.Duration
+}
+
+// NewLiveServer returns a server with no attached samplers.
+func NewLiveServer() *LiveServer {
+	ls := &LiveServer{start: time.Now(), SSEPeriod: 500 * time.Millisecond}
+	empty := ""
+	ls.label.Store(&empty)
+	return ls
+}
+
+// Attach wires the server into a collector: every sampler the collector
+// starts publishes to this server. Call before the collector is
+// installed.
+func (ls *LiveServer) Attach(c *Collector) {
+	prev := c.OnSampler
+	c.OnSampler = func(sm *Sampler) {
+		ls.Register(sm)
+		if prev != nil {
+			prev(sm)
+		}
+	}
+}
+
+// Register gives one sampler a published-snapshot slot and installs its
+// publish hook. Safe to call from concurrent experiment workers; the
+// hook itself then runs only on the sampler's simulation goroutine.
+func (ls *LiveServer) Register(sm *Sampler) {
+	slot := &atomic.Pointer[Published]{}
+	ls.mu.Lock()
+	ls.slots = append(ls.slots, slot)
+	ls.mu.Unlock()
+	sm.publish = func(final bool) { slot.Store(sm.published(final)) }
+}
+
+// SetTotal declares how many experiments the batch will run.
+func (ls *LiveServer) SetTotal(n int) { ls.total.Store(int64(n)) }
+
+// StepDone records one finished experiment.
+func (ls *LiveServer) StepDone() { ls.done.Add(1) }
+
+// SetLabel names the experiment currently running.
+func (ls *LiveServer) SetLabel(s string) { ls.label.Store(&s) }
+
+// Finish marks the whole batch complete; /progress streams report
+// final=true and new SSE clients get one event and a closed stream.
+func (ls *LiveServer) Finish() { ls.finished.Store(true) }
+
+// published loads every non-empty slot's current snapshot.
+func (ls *LiveServer) published() []*Published {
+	ls.mu.Lock()
+	slots := append([]*atomic.Pointer[Published](nil), ls.slots...)
+	ls.mu.Unlock()
+	out := make([]*Published, 0, len(slots))
+	for _, s := range slots {
+		if p := s.Load(); p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Handler returns the HTTP mux serving /metrics, /timeline,
+// /timeline.csv and /progress.
+func (ls *LiveServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", ls.handleIndex)
+	mux.HandleFunc("/metrics", ls.handleMetrics)
+	mux.HandleFunc("/timeline", ls.handleTimeline)
+	mux.HandleFunc("/timeline.csv", ls.handleTimelineCSV)
+	mux.HandleFunc("/progress", ls.handleProgress)
+	return mux
+}
+
+func (ls *LiveServer) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "2B-SSD simulator live observability\n\n"+
+		"  /metrics       Prometheus text exposition\n"+
+		"  /timeline      merged virtual-time timeline (JSON)\n"+
+		"  /timeline.csv  merged timeline, long-form CSV\n"+
+		"  /progress      live batch progress (Server-Sent Events)\n")
+}
+
+// promName sanitizes a registry metric name for Prometheus exposition:
+// the simulator names series "nand.read_wait"; Prometheus metric names
+// are [a-zA-Z_:][a-zA-Z0-9_:]*. Every invalid rune becomes '_' and the
+// whole name is prefixed "twobssd_".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len("twobssd_"))
+	b.WriteString("twobssd_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (ls *LiveServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	pubs := ls.published()
+	counters := make(map[string]uint64)
+	gauges := make(map[string]float64)
+	histos := make(map[string]*histo.H)
+	var events uint64
+	var virtual int64
+	for _, p := range pubs {
+		events += p.Events
+		virtual += p.TimeNs
+		for name, v := range p.Counters {
+			counters[name] += v
+		}
+		for name, v := range p.Gauges {
+			gauges[name] = v
+		}
+		for name, h := range p.Histos {
+			if m, ok := histos[name]; ok {
+				m.Merge(h)
+			} else {
+				c := h.Clone()
+				histos[name] = &c
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP twobssd_up Whether the simulator serving endpoint is alive.\n# TYPE twobssd_up gauge\ntwobssd_up 1\n")
+	fmt.Fprintf(w, "# TYPE twobssd_experiments_done gauge\ntwobssd_experiments_done %d\n", ls.done.Load())
+	fmt.Fprintf(w, "# TYPE twobssd_experiments_total gauge\ntwobssd_experiments_total %d\n", ls.total.Load())
+	fmt.Fprintf(w, "# TYPE twobssd_envs gauge\ntwobssd_envs %d\n", len(pubs))
+	fmt.Fprintf(w, "# HELP twobssd_events_total Simulation events dispatched across all environments.\n# TYPE twobssd_events_total counter\ntwobssd_events_total %d\n", events)
+	fmt.Fprintf(w, "# HELP twobssd_virtual_time_ns Total virtual time simulated across all environments.\n# TYPE twobssd_virtual_time_ns counter\ntwobssd_virtual_time_ns %d\n", virtual)
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(gauges[name]))
+	}
+	// Histograms export as Prometheus summaries. Values stay virtual
+	// nanoseconds (the simulator's unit), hence the _ns name suffix.
+	for _, name := range sortedKeys(histos) {
+		h := histos[name]
+		pn := promName(name + "_ns")
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		for _, q := range []struct {
+			label string
+			v     sim.Duration
+		}{{"0.5", h.P50()}, {"0.99", h.P99()}, {"0.999", h.P999()}} {
+			fmt.Fprintf(w, "%s{quantile=\"%s\"} %d\n", pn, q.label, int64(q.v))
+		}
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, int64(h.Sum()), pn, h.N())
+	}
+}
+
+// formatFloat renders a gauge value: Prometheus accepts Go 'g' format.
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+func (ls *LiveServer) liveTimeline() Timeline {
+	pubs := ls.published()
+	var streams [][]point
+	var dropped uint64
+	var interval sim.Duration
+	for _, p := range pubs {
+		if interval <= 0 {
+			interval = p.Interval
+		}
+		streams = append(streams, p.Points)
+		dropped += p.Dropped
+	}
+	return mergeTimelines(interval, streams, dropped)
+}
+
+func (ls *LiveServer) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	ls.liveTimeline().WriteJSON(w)
+}
+
+func (ls *LiveServer) handleTimelineCSV(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv")
+	ls.liveTimeline().WriteCSV(w)
+}
+
+// Progress is one SSE payload: batch progress plus the merged
+// reliability counters (fault.*) the campaigns maintain.
+type Progress struct {
+	Label        string            `json:"label,omitempty"`
+	Done         int64             `json:"done"`
+	Total        int64             `json:"total"`
+	Envs         int               `json:"envs"`
+	Events       uint64            `json:"events"`
+	EventsPerSec float64           `json:"events_per_sec"`
+	ElapsedS     float64           `json:"elapsed_s"`
+	EtaS         float64           `json:"eta_s,omitempty"`
+	VirtualNs    int64             `json:"virtual_ns"`
+	Fault        map[string]uint64 `json:"fault,omitempty"`
+	Final        bool              `json:"final"`
+}
+
+func (ls *LiveServer) progress() Progress {
+	pubs := ls.published()
+	p := Progress{
+		Label: *ls.label.Load(),
+		Done:  ls.done.Load(),
+		Total: ls.total.Load(),
+		Envs:  len(pubs),
+		Final: ls.finished.Load(),
+	}
+	for _, pub := range pubs {
+		p.Events += pub.Events
+		p.VirtualNs += pub.TimeNs
+		for name, v := range pub.Counters {
+			if strings.HasPrefix(name, "fault.") {
+				if p.Fault == nil {
+					p.Fault = make(map[string]uint64)
+				}
+				p.Fault[name] += v
+			}
+		}
+	}
+	p.ElapsedS = time.Since(ls.start).Seconds()
+	if p.ElapsedS > 0 {
+		p.EventsPerSec = float64(p.Events) / p.ElapsedS
+	}
+	if p.Done > 0 && p.Total > p.Done && !p.Final {
+		p.EtaS = p.ElapsedS / float64(p.Done) * float64(p.Total-p.Done)
+	}
+	return p
+}
+
+func (ls *LiveServer) handleProgress(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+
+	period := ls.SSEPeriod
+	if period <= 0 {
+		period = 500 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		p := ls.progress()
+		b, err := json.Marshal(p)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", b); err != nil {
+			return
+		}
+		fl.Flush()
+		if p.Final {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}

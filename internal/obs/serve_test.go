@@ -1,0 +1,234 @@
+package obs_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"twobssd/internal/device"
+	"twobssd/internal/ftl"
+	"twobssd/internal/obs"
+	"twobssd/internal/sim"
+)
+
+// serveRun runs the standard small block workload under a collector
+// wired to a LiveServer and returns both.
+func serveRun(t *testing.T) (*obs.LiveServer, *obs.Collector) {
+	t.Helper()
+	ls := obs.NewLiveServer()
+	c := obs.NewCollector(false)
+	c.EnableSampling(sim.Microsecond, 0)
+	ls.Attach(c)
+	ls.SetTotal(1)
+	ls.SetLabel("smoke")
+
+	env := sim.NewEnv()
+	set := obs.Of(env)
+	c.Collect(set)
+	dev := device.New(env, device.ULLSSD())
+	env.Go("w", func(p *sim.Proc) {
+		ps := dev.PageSize()
+		page := make([]byte, ps)
+		for i := 0; i < 16; i++ {
+			page[0] = byte(i)
+			if err := dev.WritePages(p, ftl.LBA(i), page); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+		if err := dev.Drain(p); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	// Planted reliability counter, to show up in /progress.
+	set.Registry().Counter("fault.trips").Add(3)
+	env.Run()
+	ls.StepDone()
+	return ls, c
+}
+
+// promLine validates one Prometheus text-exposition sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	ls, _ := serveRun(t)
+	srv := httptest.NewServer(ls.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	var samples int
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid exposition line: %q", line)
+		}
+		samples++
+	}
+	if samples < 10 {
+		t.Fatalf("only %d samples exposed:\n%s", samples, body)
+	}
+	for _, want := range []string{
+		"twobssd_up 1",
+		"twobssd_experiments_done 1",
+		"twobssd_ULL_SSD_write_cmds 16",
+		"twobssd_fault_trips 3",
+		`twobssd_nand_program_ns_ns{quantile="0.5"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTimelineEndpoint(t *testing.T) {
+	ls, c := serveRun(t)
+	srv := httptest.NewServer(ls.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/timeline")
+	if err != nil {
+		t.Fatalf("GET /timeline: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	var tl obs.Timeline
+	if err := json.Unmarshal(body, &tl); err != nil {
+		t.Fatalf("/timeline is not timeline JSON: %v\n%s", err, body)
+	}
+	if tl.Schema != obs.TimelineSchema || len(tl.Points) == 0 {
+		t.Fatalf("timeline schema=%q points=%d", tl.Schema, len(tl.Points))
+	}
+
+	// The served timeline matches the collector's merged artifact.
+	want := c.MergedTimeline()
+	if len(tl.Points) != len(want.Points) {
+		t.Fatalf("served %d points, collector has %d", len(tl.Points), len(want.Points))
+	}
+
+	csvResp, err := http.Get(srv.URL + "/timeline.csv")
+	if err != nil {
+		t.Fatalf("GET /timeline.csv: %v", err)
+	}
+	defer csvResp.Body.Close()
+	head := make([]byte, 64)
+	n, _ := csvResp.Body.Read(head)
+	if !strings.HasPrefix(string(head[:n]), "window,time_ns,span_ns,kind,name") {
+		t.Fatalf("csv header = %q", head[:n])
+	}
+}
+
+func TestProgressSSE(t *testing.T) {
+	ls, _ := serveRun(t)
+	ls.SSEPeriod = 10 * time.Millisecond
+	srv := httptest.NewServer(ls.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatalf("GET /progress: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Read the first event, then finish the batch and expect the stream
+	// to deliver a final event and close.
+	br := bufio.NewReader(resp.Body)
+	readEvent := func() obs.Progress {
+		t.Helper()
+		var data string
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("stream ended early: %v (data=%q)", err, data)
+			}
+			line = strings.TrimRight(line, "\n")
+			if strings.HasPrefix(line, "data: ") {
+				data = strings.TrimPrefix(line, "data: ")
+			}
+			if line == "" && data != "" {
+				break
+			}
+		}
+		var p obs.Progress
+		if err := json.Unmarshal([]byte(data), &p); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", data, err)
+		}
+		return p
+	}
+
+	first := readEvent()
+	if first.Done != 1 || first.Total != 1 || first.Label != "smoke" {
+		t.Fatalf("first event = %+v", first)
+	}
+	if first.Events == 0 || first.Envs != 1 {
+		t.Fatalf("first event carries no simulation stats: %+v", first)
+	}
+	if first.Fault["fault.trips"] != 3 {
+		t.Fatalf("first event fault counters = %v", first.Fault)
+	}
+
+	ls.Finish()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ev := readEvent()
+		if ev.Final {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no final event after Finish")
+		}
+	}
+	// After the final event the handler returns and the body drains.
+	if _, err := io.ReadAll(br); err != nil {
+		t.Fatalf("stream did not close cleanly: %v", err)
+	}
+}
+
+func TestIndexEndpoint(t *testing.T) {
+	ls, _ := serveRun(t)
+	srv := httptest.NewServer(ls.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatalf("GET /: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "/metrics") {
+		t.Fatalf("index = %d %q", resp.StatusCode, body)
+	}
+	missing, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatalf("GET /nope: %v", err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", missing.StatusCode)
+	}
+}

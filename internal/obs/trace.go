@@ -21,6 +21,13 @@ const DefaultMaxEvents = 1 << 18
 // A nil *Tracer is the disabled tracer: every method returns
 // immediately without allocating — the zero-overhead fast path asserted
 // by BenchmarkDisabledTracer.
+//
+// A tracer runs in one of two modes. The full tracer (EnableTracing)
+// appends every event up to maxEvents and exports Chrome trace JSON.
+// The ring tracer (EnableFlightRecorder) is the flight recorder: a
+// fixed-capacity ring that overwrites its oldest event, so it is
+// allocation-bounded no matter how long the run — it always holds the
+// last N events leading up to whatever went wrong.
 type Tracer struct {
 	env       *sim.Env
 	maxEvents int
@@ -28,6 +35,11 @@ type Tracer struct {
 	tracks    []string       // tid -> track name, in first-use order
 	tids      map[string]int // track name -> tid
 	events    []Event
+
+	// Ring (flight-recorder) mode: events wraps at maxEvents and head
+	// marks the oldest entry.
+	ring bool
+	head int
 }
 
 // Event is one recorded trace event.
@@ -49,8 +61,22 @@ func newTracer(env *sim.Env) *Tracer {
 	}
 }
 
+func newRingTracer(env *sim.Env, n int) *Tracer {
+	return &Tracer{
+		env:       env,
+		maxEvents: n,
+		tids:      make(map[string]int),
+		events:    make([]Event, 0, n),
+		ring:      true,
+	}
+}
+
 // Enabled reports whether the tracer records events.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// Ring reports whether the tracer is a bounded flight-recorder ring
+// (as opposed to a full exporting tracer).
+func (t *Tracer) Ring() bool { return t != nil && t.ring }
 
 // SetMaxEvents adjusts the event cap (<= 0 means unlimited).
 func (t *Tracer) SetMaxEvents(n int) {
@@ -59,12 +85,20 @@ func (t *Tracer) SetMaxEvents(n int) {
 	}
 }
 
-// Events returns the recorded events (borrowed, do not mutate).
+// Events returns the recorded events in chronological order. For a
+// full tracer the slice is borrowed (do not mutate); a ring tracer
+// returns a fresh unwrapped copy.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	return t.events
+	if !t.ring || t.head == 0 {
+		return t.events
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
 }
 
 // Dropped reports how many events the cap discarded.
@@ -90,6 +124,17 @@ func (t *Tracer) tid(track string) int {
 
 func (t *Tracer) emit(ev Event) {
 	if t.maxEvents > 0 && len(t.events) >= t.maxEvents {
+		if t.ring {
+			// Flight recorder: overwrite the oldest event in place —
+			// steady state allocates nothing and keeps the newest N.
+			t.events[t.head] = ev
+			t.head++
+			if t.head == len(t.events) {
+				t.head = 0
+			}
+			t.dropped++
+			return
+		}
 		t.dropped++
 		return
 	}
@@ -231,7 +276,7 @@ func WriteTraceJSON(w io.Writer, parts []TracePart) error {
 				return err
 			}
 		}
-		for _, ev := range t.events {
+		for _, ev := range t.Events() {
 			je := jsonEvent{
 				Name: ev.Name, Cat: ev.Cat, Ph: string(ev.Ph),
 				TS: usec(ev.TS), PID: pid, TID: ev.TID,

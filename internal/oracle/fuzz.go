@@ -130,6 +130,11 @@ type Result struct {
 	Divergence   *Divergence
 	ScrubRepairs uint64
 	EccRetries   uint64
+
+	// Flight is the flight-recorder dump captured when the seed
+	// diverged: the last spans before the diverging op, plus the
+	// stack's metrics at that moment.
+	Flight *obs.FlightDump
 }
 
 // splitmix64 mirrors the fault injector's per-stream PRNG.
@@ -266,6 +271,8 @@ func Replay(seed uint64, cfg Config, ops []Op) Result {
 	cfg = cfg.withDefaults()
 	env := sim.NewEnv()
 	in := fault.Install(env, fuzzPlan(seed))
+	set := obs.Of(env)
+	set.EnableFlightRecorder(0)
 	sc := stackConfig()
 	s := core.New(env, sc)
 	m := NewModel(ModelConfig{
@@ -296,7 +303,11 @@ func Replay(seed uint64, cfg Config, ops []Op) Result {
 	env.Run()
 	_ = in
 	res.ScrubRepairs = s.ScrubStats().Repaired
-	res.EccRetries = obs.Of(env).Registry().Counter("fault.ecc_retries").Value()
+	res.EccRetries = set.Registry().Counter("fault.ecc_retries").Value()
+	if res.Divergence != nil {
+		d := set.FlightDump("oracle divergence: " + res.Divergence.String())
+		res.Flight = &d
+	}
 	return res
 }
 

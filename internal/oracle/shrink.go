@@ -1,5 +1,7 @@
 package oracle
 
+import "twobssd/internal/obs"
+
 // Shrink minimizes a diverging trace. The strategy mirrors the fault
 // campaign's threshold bisection, then goes further:
 //
@@ -18,6 +20,9 @@ type ShrinkReport struct {
 	Ops        []Op // minimal diverging trace
 	Divergence *Divergence
 	Replays    int // replays spent
+	// Flight is the flight-recorder dump of the best (shortest)
+	// diverging replay found.
+	Flight *obs.FlightDump
 }
 
 // MaxShrinkReplays bounds the shrink search per divergence.
@@ -32,7 +37,11 @@ func Shrink(seed uint64, cfg Config, ops []Op) ShrinkReport {
 			return nil
 		}
 		rep.Replays++
-		return Replay(seed, cfg, cand).Divergence
+		res := Replay(seed, cfg, cand)
+		if res.Divergence != nil {
+			rep.Flight = res.Flight
+		}
+		return res.Divergence
 	}
 
 	// Confirm, and truncate to the diverging op: nothing after it ran.

@@ -119,10 +119,22 @@ type Env struct {
 	// its own index for O(1) swap-removal.
 	blocked []*Proc
 
-	nlive     int
-	running   bool
-	nevents   uint64
+	nlive      int
+	running    bool
+	nevents    uint64
 	attachment interface{}
+
+	// Clock-tick hook: when set, tickFn runs from the event loop the
+	// first time the clock reaches or passes tickAt (before the event's
+	// process resumes). The observability sampler hangs here — a
+	// sleeping daemon process could not drive it, because a pending
+	// wakeup event would keep Run from ever draining the queue.
+	tickAt Time
+	tickFn func(now Time) Time
+
+	// Run-end hooks fire each time Run returns normally (queue drained,
+	// no fault); the sampler uses one to flush a final partial window.
+	runEnd []func()
 }
 
 // SetAttachment stores an opaque value on the environment (used by the
@@ -142,6 +154,24 @@ func (e *Env) Attachment() interface{} { return e.attachment }
 func NewEnv() *Env {
 	return &Env{runq: make(chan struct{}, 1)}
 }
+
+// SetTick installs (or replaces) the clock-tick hook: fn runs inside
+// the event loop the first time the virtual clock reaches or passes
+// at, and returns the next tick time (return a value <= the current
+// time to stop ticking). The hook observes simulation state between
+// events — it runs after the clock advances but before the dispatched
+// process resumes — and must not call Proc methods, schedule events,
+// or otherwise re-enter the kernel. One hook per environment; the
+// observability sampler owns it in practice.
+func (e *Env) SetTick(at Time, fn func(now Time) Time) {
+	e.tickAt, e.tickFn = at, fn
+}
+
+// OnRunEnd registers fn to run each time Run returns normally (event
+// queue drained, no process fault). Hooks run in registration order on
+// the goroutine that called Run, when no process is executing — safe
+// for publishing final observability state.
+func (e *Env) OnRunEnd(fn func()) { e.runEnd = append(e.runEnd, fn) }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
@@ -265,6 +295,13 @@ func (e *Env) next() (*Proc, bool) {
 	}
 	e.now = ev.at
 	e.nevents++
+	if e.tickFn != nil && e.now >= e.tickAt {
+		next := e.tickFn(e.now)
+		if next <= e.now {
+			e.tickFn = nil
+		}
+		e.tickAt = next
+	}
 	return ev.proc, true
 }
 
@@ -351,6 +388,9 @@ func (e *Env) Run() {
 			sort.Strings(names)
 			panic("sim: deadlock, blocked processes: " + strings.Join(names, ", "))
 		}
+	}
+	for _, fn := range e.runEnd {
+		fn()
 	}
 }
 

@@ -540,3 +540,54 @@ func TestQueueCloseUnblocksReceivers(t *testing.T) {
 		t.Fatalf("unblocked %d receivers, want 3", done)
 	}
 }
+
+// The tick hook fires when the clock reaches or passes its deadline,
+// observing state between events, and stops when it returns a time
+// that does not advance.
+func TestTickHook(t *testing.T) {
+	e := NewEnv()
+	var ticks []Time
+	e.SetTick(100, func(now Time) Time {
+		ticks = append(ticks, now)
+		if now >= 1000 {
+			return now // stop
+		}
+		// Next boundary strictly after now.
+		return (now/100 + 1) * 100
+	})
+	e.Go("a", func(p *Proc) {
+		p.Sleep(50)  // t=50: below first deadline
+		p.Sleep(50)  // t=100: tick
+		p.Sleep(250) // t=350: tick (crossed 200 and 300 in one jump)
+		p.Sleep(650) // t=1000: tick, then hook stops itself
+		p.Sleep(500) // t=1500: no tick
+	})
+	e.Run()
+	want := []Time{100, 350, 1000}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+// Run-end hooks fire once per Run return, in registration order.
+func TestOnRunEnd(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.OnRunEnd(func() { order = append(order, "a") })
+	e.OnRunEnd(func() { order = append(order, "b") })
+	e.Go("w", func(p *Proc) { p.Sleep(10) })
+	e.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("run-end order = %v, want [a b]", order)
+	}
+	e.Go("w2", func(p *Proc) { p.Sleep(10) })
+	e.Run()
+	if len(order) != 4 {
+		t.Fatalf("run-end hooks fired %d times total, want 4", len(order))
+	}
+}

@@ -157,8 +157,26 @@ type (
 	// Tracer records virtual-time spans and exports Chrome trace-event
 	// JSON (Perfetto). A nil *Tracer is the zero-overhead disabled path.
 	Tracer = obs.Tracer
-	// ObsCollector aggregates metrics and traces across environments.
+	// ObsCollector aggregates metrics, traces and timelines across
+	// environments.
 	ObsCollector = obs.Collector
+	// Sampler snapshots a registry at a fixed virtual-time cadence into
+	// ring-buffered, delta-encoded timeline windows (Observe(env).
+	// StartSampler).
+	Sampler = obs.Sampler
+	// Timeline is the exported metric timeline: per-window counter
+	// rates, sampled gauges and windowed histogram percentiles, merged
+	// deterministically across environments.
+	Timeline = obs.Timeline
+	// TimelinePoint is one timeline window.
+	TimelinePoint = obs.TimelinePoint
+	// FlightDump is the post-mortem artifact of the always-on flight
+	// recorder: the last spans before a failure plus metrics at that
+	// moment (Observe(env).EnableFlightRecorder / FlightDump).
+	FlightDump = obs.FlightDump
+	// LiveServer serves a running simulation over HTTP: Prometheus
+	// text exposition, timeline JSON, and SSE progress.
+	LiveServer = obs.LiveServer
 )
 
 // Observe returns the environment's observability set. Metrics are
@@ -175,6 +193,12 @@ func Observe(env *Env) *Observability { return obs.Of(env) }
 
 // NewObsCollector returns a collector that, once Install()ed, captures
 // every environment the process subsequently creates — how bench2b's
-// -metrics/-trace flags observe experiments that build many
-// environments internally.
+// -metrics/-trace/-timeline flags observe experiments that build many
+// environments internally. Call EnableSampling before Install to also
+// record metric timelines.
 func NewObsCollector(tracing bool) *ObsCollector { return obs.NewCollector(tracing) }
+
+// NewLiveServer returns an HTTP serving layer for live observability;
+// Attach it to a collector and mount Handler() — what bench2b -listen
+// does.
+func NewLiveServer() *LiveServer { return obs.NewLiveServer() }
