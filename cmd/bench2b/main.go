@@ -6,8 +6,8 @@
 //	bench2b [-full] [-j N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [experiment ...]
 //
 // Experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf
-// mixed recovery tail smallread pmr journal qd probe ablations all
-// (default: all).
+// mixed recovery tail smallread pmr journal qd pfleet probe ablations
+// all (default: all).
 //
 // Four reliability artifacts run only when named explicitly (they are
 // not part of "all"): "crash" sweeps 128 deterministic power-loss
@@ -31,9 +31,19 @@
 // trace-event JSON of the virtual-time spans (open in Perfetto or
 // chrome://tracing); each simulated environment is one trace process.
 //
+// -pshards runs the experiments under the partitioned executor:
+// multi-instance experiments (fig9, the crash campaigns, the fuzzer,
+// every points()-driven sweep) assign their independent instances to N
+// statically-scheduled shard workers, and linked fleets (pfleet) run
+// their sim.Group with N workers. Results are identical at any value.
+//
 // -benchjson records the wall-clock performance of the simulator itself
-// — events/sec, allocs/event, per-experiment wall time — so kernel
-// speedups and regressions are measured run over run, not asserted.
+// — events/sec, allocs/event, per-experiment wall time and event
+// attribution (at -j 1), and the partitioned-vs-serial speedup probe —
+// so kernel speedups and regressions are measured run over run, not
+// asserted. -benchgate compares the run against a committed baseline
+// (BENCH_kernel.json) and exits non-zero on a >20% events/sec drop or
+// an allocs/event increase: the CI regression gate.
 // -obsbench records the observability layer's own overhead (sampler
 // and flight recorder on/off) in the same spirit (BENCH_obs.json).
 //
@@ -62,6 +72,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -100,6 +111,7 @@ func experiments(scale bench.Scale) []experiment {
 		{"pmr", func(w io.Writer) { bench.PMRComparison(scale).Print(w) }},
 		{"journal", func(w io.Writer) { bench.Journaling(scale).Print(w) }},
 		{"qd", func(w io.Writer) { bench.QueueDepth(scale).Print(w) }},
+		{"pfleet", func(w io.Writer) { bench.PartitionedFleet(scale).Print(w) }},
 		{"probe", func(w io.Writer) { bench.Probe(scale).Print(w) }},
 		{"ablations", func(w io.Writer) {
 			bench.AblationWriteCombining(scale).Print(w)
@@ -144,27 +156,65 @@ func fuzzExperiments(failed *atomic.Bool, seeds int) []experiment {
 	}
 }
 
-// expReport is one experiment's wall-clock cost in the -benchjson
-// report. Under -j > 1 experiments overlap, so their wall times can sum
-// past the run's total.
+// expReport is one experiment's cost in the -benchjson report. Under
+// -j > 1 experiments overlap, so their wall times can sum past the
+// run's total — and the per-experiment event/alloc attribution
+// (schema v2) is only recorded at -j 1, where the deltas between
+// experiments are unambiguous.
 type expReport struct {
-	ID     string `json:"id"`
-	WallNs int64  `json:"wall_ns"`
+	ID             string  `json:"id"`
+	WallNs         int64   `json:"wall_ns"`
+	Events         uint64  `json:"events,omitempty"`
+	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
 }
 
 // kernelReport is the -benchjson wall-clock performance record.
 type kernelReport struct {
-	Schema         string      `json:"schema"`
-	Scale          string      `json:"scale"`
-	GoVersion      string      `json:"go_version"`
-	NumCPU         int         `json:"num_cpu"`
-	Jobs           int         `json:"jobs"`
-	Experiments    []expReport `json:"experiments"`
-	WallNs         int64       `json:"wall_ns"`
-	VirtualNs      int64       `json:"virtual_ns"`
-	Events         uint64      `json:"events"`
-	EventsPerSec   float64     `json:"events_per_sec"`
-	AllocsPerEvent float64     `json:"allocs_per_event"`
+	Schema         string                 `json:"schema"`
+	Scale          string                 `json:"scale"`
+	GoVersion      string                 `json:"go_version"`
+	NumCPU         int                    `json:"num_cpu"`
+	Jobs           int                    `json:"jobs"`
+	Pshards        int                    `json:"pshards"`
+	Experiments    []expReport            `json:"experiments"`
+	WallNs         int64                  `json:"wall_ns"`
+	VirtualNs      int64                  `json:"virtual_ns"`
+	Events         uint64                 `json:"events"`
+	EventsPerSec   float64                `json:"events_per_sec"`
+	AllocsPerEvent float64                `json:"allocs_per_event"`
+	Partition      *bench.PartitionReport `json:"partition,omitempty"`
+	Steady         *bench.SteadyReport    `json:"steady_state,omitempty"`
+}
+
+// gate compares this run against a committed baseline report and
+// returns an error on a kernel performance regression: a >20% drop in
+// events/sec, or an allocs/event increase beyond measurement noise
+// (10% relative plus 0.02 absolute).
+func gate(cur kernelReport, basePath string) error {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var base kernelReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", basePath, err)
+	}
+	if base.EventsPerSec > 0 && cur.EventsPerSec < 0.8*base.EventsPerSec {
+		return fmt.Errorf("events/sec regressed: %.0f vs baseline %.0f (-%.1f%%)",
+			cur.EventsPerSec, base.EventsPerSec,
+			100*(1-cur.EventsPerSec/base.EventsPerSec))
+	}
+	if base.AllocsPerEvent > 0 && cur.AllocsPerEvent > 1.1*base.AllocsPerEvent+0.02 {
+		return fmt.Errorf("allocs/event regressed: %.4f vs baseline %.4f",
+			cur.AllocsPerEvent, base.AllocsPerEvent)
+	}
+	if base.Steady != nil && cur.Steady != nil &&
+		cur.Steady.AllocsPerEvent > 1.1*base.Steady.AllocsPerEvent+0.02 {
+		return fmt.Errorf("steady-state allocs/event regressed: %.4f vs baseline %.4f",
+			cur.Steady.AllocsPerEvent, base.Steady.AllocsPerEvent)
+	}
+	return nil
 }
 
 func main() {
@@ -178,9 +228,13 @@ func main() {
 	timelinePath := flag.String("timeline", "", "write the merged metric timeline to this file (.csv extension selects CSV, else JSON)")
 	listenAddr := flag.String("listen", "", "serve /metrics, /timeline and /progress on this address; keeps serving after the run until interrupted")
 	seeds := flag.Int("seeds", 256, "seed count for the fuzz experiment")
+	pshards := flag.Int("pshards", 1, "partition shards: multi-instance experiments run on N statically-assigned shard workers and linked fleets use N sim.Group workers (results identical at any value; 1 = off)")
+	benchGate := flag.String("benchgate", "", "compare this run against a baseline kernel benchmark JSON; exit non-zero on >20% events/sec drop or an allocs/event increase")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile (pprof) of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a host allocation profile (pprof, alloc_space) to this file after the run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-seeds N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [-obsbench o.json] [-sample D] [-timeline t.json] [-listen addr] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd probe ablations all\n")
+		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-pshards N] [-seeds N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [-benchgate base.json] [-obsbench o.json] [-sample D] [-timeline t.json] [-listen addr] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd pfleet probe ablations all\n")
 		fmt.Fprintf(os.Stderr, "reliability (not in \"all\"): crash crash-smoke fuzz fuzz-smoke\n")
 	}
 	flag.Parse()
@@ -189,6 +243,35 @@ func main() {
 		scale, scaleName = bench.Full, "full"
 	}
 	bench.SetJobs(*jobs)
+	bench.SetPartitionShards(*pshards)
+
+	// Host-side profiling: the kernel's wall-clock performance is a
+	// first-class artifact (BENCH_kernel.json), so regressions must be
+	// diagnosable from the shipped binary without code edits.
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		cpuFile = createReport(*cpuProfile)
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2b: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	finishProfiles := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "bench2b: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *memProfile != "" {
+			f := createReport(*memProfile)
+			runtime.GC() // flush recent frees so alloc_space is settled
+			writeReport(f, func(w io.Writer) error {
+				return pprof.Lookup("allocs").WriteTo(w, 0)
+			})
+		}
+	}
 
 	sampling := *samplePeriod > 0 || *timelinePath != "" || *listenAddr != ""
 
@@ -199,7 +282,7 @@ func main() {
 	if *obsbenchPath != "" {
 		obsbenchFile = createReport(*obsbenchPath)
 	}
-	if *metricsPath != "" || *tracePath != "" || *benchPath != "" || sampling {
+	if *metricsPath != "" || *tracePath != "" || *benchPath != "" || *benchGate != "" || sampling {
 		if *metricsPath != "" {
 			metricsFile = createReport(*metricsPath)
 		}
@@ -282,7 +365,7 @@ func main() {
 	var ms0 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	walls := runAll(selected, *jobs, live)
+	walls, expEvents, expMallocs := runAll(selected, *jobs, live, col)
 	wallTotal := time.Since(start)
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
@@ -315,31 +398,69 @@ func main() {
 			}
 			writeReport(timelineFile, emit)
 		}
-		if benchFile != nil {
+		if benchFile != nil || *benchGate != "" {
 			rep := kernelReport{
-				Schema:    "bench2b/kernel-v1",
+				Schema:    "bench2b/kernel-v2",
 				Scale:     scaleName,
 				GoVersion: runtime.Version(),
 				NumCPU:    runtime.NumCPU(),
 				Jobs:      *jobs,
+				Pshards:   *pshards,
 				WallNs:    wallTotal.Nanoseconds(),
 				VirtualNs: int64(col.TotalVirtual()),
 				Events:    col.TotalEvents(),
 			}
 			for i, ex := range selected {
-				rep.Experiments = append(rep.Experiments, expReport{ID: ex.id, WallNs: walls[i].Nanoseconds()})
+				er := expReport{ID: ex.id, WallNs: walls[i].Nanoseconds()}
+				if expEvents != nil {
+					er.Events = expEvents[i]
+					if er.Events > 0 {
+						er.EventsPerSec = float64(er.Events) / walls[i].Seconds()
+						er.AllocsPerEvent = float64(expMallocs[i]) / float64(er.Events)
+					}
+				}
+				rep.Experiments = append(rep.Experiments, er)
 			}
 			if rep.Events > 0 {
 				rep.EventsPerSec = float64(rep.Events) / wallTotal.Seconds()
 				rep.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(rep.Events)
 			}
-			writeReport(benchFile, func(w io.Writer) error {
-				enc := json.NewEncoder(w)
-				enc.SetIndent("", "  ")
-				return enc.Encode(rep)
-			})
+			// Partitioned-vs-serial speedup probe: the same linked fleet
+			// wall-clocked at one worker and at -pshards workers, with a
+			// result-identity check (the determinism bar).
+			rep.Partition = bench.PartitionSpeedup(scale)
+			fmt.Printf("partition probe: %d shards, %d pairs, speedup %.2fx, identical=%v\n",
+				rep.Partition.Shards, rep.Partition.Pairs, rep.Partition.Speedup, rep.Partition.Identical)
+			// Steady-state allocation probe: a sustained BA-WAL commit
+			// stream on a warmed stack. The aggregate allocs/event above
+			// includes per-experiment construction; this is the long-run
+			// rate the allocation work targets.
+			rep.Steady = bench.SteadyStateAllocs(scale)
+			fmt.Printf("steady-state probe: %d events, %.4f allocs/event\n",
+				rep.Steady.Events, rep.Steady.AllocsPerEvent)
+			if benchFile != nil {
+				writeReport(benchFile, func(w io.Writer) error {
+					enc := json.NewEncoder(w)
+					enc.SetIndent("", "  ")
+					return enc.Encode(rep)
+				})
+			}
+			if *benchGate != "" {
+				if err := gate(rep, *benchGate); err != nil {
+					fmt.Fprintf(os.Stderr, "bench2b: benchgate: %v\n", err)
+					gateFailed.Store(true)
+				} else {
+					fmt.Printf("benchgate: ok (%.0f events/sec, %.4f allocs/event vs %s)\n",
+						rep.EventsPerSec, rep.AllocsPerEvent, *benchGate)
+				}
+			}
+			if !rep.Partition.Identical {
+				fmt.Fprintln(os.Stderr, "bench2b: partition probe: partitioned result diverged from serial")
+				gateFailed.Store(true)
+			}
 		}
 	}
+	finishProfiles()
 	if srv != nil {
 		// Keep serving the finished run until interrupted, then shut
 		// down gracefully (lets in-flight scrapes and the final SSE
@@ -355,7 +476,7 @@ func main() {
 		}
 	}
 	if gateFailed.Load() {
-		fmt.Fprintln(os.Stderr, "bench2b: reliability campaign failed (durability violation or model divergence)")
+		fmt.Fprintln(os.Stderr, "bench2b: gate failed (durability violation, model divergence, or kernel performance regression)")
 		os.Exit(1)
 	}
 }
@@ -365,9 +486,12 @@ func main() {
 // this goroutine (the legacy behavior); otherwise experiments run
 // concurrently, each into its own buffer, and buffers are printed as
 // their turn comes — output order never depends on scheduling. Returns
-// each experiment's wall time. When live is non-nil, batch progress
+// each experiment's wall time, plus — sequentially only, where the
+// deltas are unambiguous — each experiment's simulation events and
+// host allocations (nil slices under -j > 1, or without a collector
+// for the event counts). When live is non-nil, batch progress
 // (done/total, current experiment) feeds the /progress stream.
-func runAll(selected []experiment, jobs int, live *obs.LiveServer) []time.Duration {
+func runAll(selected []experiment, jobs int, live *obs.LiveServer, col *obs.Collector) ([]time.Duration, []uint64, []uint64) {
 	if live != nil {
 		live.SetTotal(len(selected))
 	}
@@ -384,10 +508,26 @@ func runAll(selected []experiment, jobs int, live *obs.LiveServer) []time.Durati
 	}
 	walls := make([]time.Duration, len(selected))
 	if jobs <= 1 || len(selected) == 1 {
+		events := make([]uint64, len(selected))
+		mallocs := make([]uint64, len(selected))
+		var ms0, ms1 runtime.MemStats
 		for i, ex := range selected {
+			var ev0 uint64
+			if col != nil {
+				ev0 = col.TotalEvents()
+			}
+			runtime.ReadMemStats(&ms0)
 			walls[i] = step(ex, os.Stdout)
+			runtime.ReadMemStats(&ms1)
+			if col != nil {
+				events[i] = col.TotalEvents() - ev0
+			}
+			mallocs[i] = ms1.Mallocs - ms0.Mallocs
 		}
-		return walls
+		if col == nil {
+			events = nil
+		}
+		return walls, events, mallocs
 	}
 	type slot struct {
 		buf  bytes.Buffer
@@ -409,7 +549,7 @@ func runAll(selected []experiment, jobs int, live *obs.LiveServer) []time.Durati
 			os.Exit(1)
 		}
 	}
-	return walls
+	return walls, nil, nil
 }
 
 func createReport(path string) *os.File {

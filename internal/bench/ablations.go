@@ -44,6 +44,7 @@ func AblationWriteCombining(s Scale) *Table {
 
 func mmioWriteWith(mk func(*sim.Env) *core.TwoBSSD, size, reps int) sim.Duration {
 	e := sim.NewEnv()
+	defer e.Shutdown()
 	ssd := mk(e)
 	var total sim.Duration
 	e.Go("t", func(p *sim.Proc) {
@@ -78,6 +79,7 @@ func AblationDoubleBuffering(s Scale) *Table {
 	t.Series = []string{"elapsed"}
 	run := func(double bool) sim.Duration {
 		st := newStack(Log2B)
+		defer st.env.Shutdown()
 		var elapsed sim.Duration
 		st.env.Go("t", func(p *sim.Proc) {
 			seg := st.ssd.Config().BABufferBytes / 4
@@ -129,6 +131,7 @@ func AblationGroupCommit(s Scale) *Table {
 	}
 	run := func(clients int) (float64, float64) {
 		st := newStack(LogULL)
+		defer st.env.Shutdown()
 		var l *wal.Log
 		st.env.Go("setup", func(p *sim.Proc) {
 			f, err := st.logFS.Create("log", 8<<20)

@@ -58,8 +58,11 @@ type stack struct {
 	mode   wal.CommitMode
 }
 
-func newStack(cfg LogDevice) *stack {
-	e := sim.NewEnv()
+func newStack(cfg LogDevice) *stack { return newStackOn(sim.NewEnv(), cfg) }
+
+// newStackOn builds the stack on a caller-supplied environment, which
+// may be a partition of a sim.Group (see partition.go).
+func newStackOn(e *sim.Env, cfg LogDevice) *stack {
 	st := &stack{env: e}
 	dataProf := device.ULLSSD()
 	dataProf.Name = "data-" + dataProf.Name
@@ -169,15 +172,15 @@ func (g *pgGraph) GetLink(p *sim.Proc, id1, id2 uint64, lt uint32) ([]byte, bool
 
 func (g *pgGraph) GetLinkList(p *sim.Proc, id1 uint64, lt uint32, limit int) (int, error) {
 	pfx := linkbench.LinkPrefix(id1, lt)
-	keys, _, err := g.eng.Begin().Scan(p, linkTable, pfx, limit)
-	if err != nil {
-		return 0, err
-	}
 	n := 0
-	for _, k := range keys {
+	err := g.eng.Begin().ScanFunc(p, linkTable, pfx, limit, func(k, _ []byte) bool {
 		if bytes.HasPrefix(k, pfx) {
 			n++
 		}
+		return true
+	})
+	if err != nil {
+		return 0, err
 	}
 	return n, nil
 }

@@ -21,6 +21,7 @@ func CommitOverhead(s Scale) *Table {
 	}
 	measure := func(cfg LogDevice) sim.Duration {
 		st := newStack(cfg)
+		defer st.env.Shutdown()
 		var avg sim.Duration
 		st.env.Go("t", func(p *sim.Proc) {
 			f, err := st.logFS.Create("commitlog", 8<<20)
@@ -97,6 +98,7 @@ func WAFReduction(s Scale) *Table {
 	records := segBytes / (recBytes + 16)
 	run := func(cfg LogDevice) (nand uint64, n int) {
 		st := newStack(cfg)
+		defer st.env.Shutdown()
 		st.env.Go("t", func(p *sim.Proc) {
 			f, err := st.logFS.Create("waflog", int64(2*segBytes))
 			if err != nil {
@@ -112,8 +114,9 @@ func WAFReduction(s Scale) *Table {
 			if err != nil {
 				panic(err)
 			}
+			rec := make([]byte, recBytes) // Append copies; reuse one buffer
 			for i := 0; i < records; i++ {
-				lsn, err := l.Append(p, make([]byte, recBytes))
+				lsn, err := l.Append(p, rec)
 				if err != nil {
 					panic(err)
 				}
@@ -157,6 +160,7 @@ func MixedWorkload(s Scale) *Table {
 	}
 	run := func(withMMIO bool) sim.Duration {
 		e := sim.NewEnv()
+		defer e.Shutdown()
 		ssd := SSD2B(e)
 		var lat sim.Duration
 		e.Go("t", func(p *sim.Proc) {
@@ -210,6 +214,7 @@ func Recovery(s Scale) *Table {
 		Series: []string{"value"},
 	}
 	e := sim.NewEnv()
+	defer e.Shutdown()
 	ssd := SSD2B(e)
 	e.Go("t", func(p *sim.Proc) {
 		if err := ssd.BAPin(p, 0, 0, 0, ssd.BufferPages()/2); err != nil {

@@ -39,6 +39,7 @@ func quickExperiments() []struct {
 		{"pmr", func(w io.Writer) { PMRComparison(s).Print(w) }},
 		{"journal", func(w io.Writer) { Journaling(s).Print(w) }},
 		{"qd", func(w io.Writer) { QueueDepth(s).Print(w) }},
+		{"pfleet", func(w io.Writer) { PartitionedFleet(s).Print(w) }},
 		{"probe", func(w io.Writer) { Probe(s).Print(w) }},
 		{"ablations", func(w io.Writer) {
 			AblationWriteCombining(s).Print(w)

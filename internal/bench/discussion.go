@@ -28,6 +28,7 @@ func TailLatency(s Scale) *Table {
 	}
 	run := func(cfg LogDevice) *histo.H {
 		st := newStack(cfg)
+		defer st.env.Shutdown() // release the point's grown kernel arrays
 		h := &histo.H{}
 		st.env.Go("setup", func(p *sim.Proc) {
 			f, err := st.logFS.Create("taillog", 32<<20)
@@ -55,9 +56,10 @@ func TailLatency(s Scale) *Table {
 			per := int(s.AppOps) / s.Clients
 			for c := 0; c < s.Clients; c++ {
 				st.env.Go(fmt.Sprintf("c%d", c), func(w *sim.Proc) {
+					rec := make([]byte, 128) // Append copies; reuse per client
 					for i := 0; i < per; i++ {
 						start := st.env.Now()
-						lsn, err := l.Append(w, make([]byte, 128))
+						lsn, err := l.Append(w, rec)
 						if err != nil {
 							panic(err)
 						}
@@ -96,6 +98,7 @@ func SmallRead(s Scale) *Table {
 		},
 	}
 	e := sim.NewEnv()
+	defer e.Shutdown()
 	ssd := SSD2B(e)
 	type point struct {
 		size        int
@@ -168,6 +171,7 @@ func PMRComparison(s Scale) *Table {
 	}
 	run := func(mode wal.CommitMode) (float64, float64) {
 		st := newStack(Log2B)
+		defer st.env.Shutdown()
 		var l *wal.Log
 		var appended uint64
 		st.env.Go("setup", func(p *sim.Proc) {
@@ -242,6 +246,7 @@ func Journaling(s Scale) *Table {
 	}
 	run := func(cfg LogDevice) (float64, float64) {
 		st := newStack(cfg)
+		defer st.env.Shutdown()
 		var store *jfs.Store
 		var startAt sim.Time
 		st.env.Go("setup", func(p *sim.Proc) {
@@ -317,6 +322,7 @@ func QueueDepth(s Scale) *Table {
 	}
 	run := func(mk func(*sim.Env) *device.Device, qd int) float64 {
 		e := sim.NewEnv()
+		defer e.Shutdown()
 		d := mk(e)
 		const perWorker = 50
 		var lastDone sim.Time

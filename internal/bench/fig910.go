@@ -16,6 +16,7 @@ var fig9Configs = []LogDevice{LogDC, LogULL, Log2B, LogAsync}
 // log-device configuration.
 func runPGLinkbench(cfg LogDevice, s Scale) float64 {
 	st := newStack(cfg)
+	defer st.env.Shutdown() // release the point's grown kernel arrays
 	var g *pgGraph
 	st.env.Go("setup", func(p *sim.Proc) {
 		var err error
@@ -40,6 +41,7 @@ func runPGLinkbench(cfg LogDevice, s Scale) float64 {
 // payload size and log-device configuration.
 func runYCSB(engine string, cfg LogDevice, payload int, s Scale) float64 {
 	st := newStack(cfg)
+	defer st.env.Shutdown()
 	var kv ycsb.KV
 	st.env.Go("setup", func(p *sim.Proc) {
 		var err error

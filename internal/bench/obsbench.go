@@ -149,6 +149,7 @@ func ObsOverhead(s Scale) *ObsReport {
 		if tr := set.Tracer(); tr.Ring() {
 			r.FlightEvents = len(tr.Events())
 		}
+		env.Shutdown() // next config starts from a cold environment
 		rep.Results = append(rep.Results, r)
 	}
 	return rep

@@ -21,6 +21,7 @@ func Probe(s Scale) *Table {
 	}
 
 	env := sim.NewEnv()
+	defer env.Shutdown()
 	ssd := SSD2B(env)
 	fs := vfs.New(ssd.Device())
 	ps := ssd.PageSize()

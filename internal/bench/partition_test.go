@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestFleetPartitionIdentical is the determinism bar for partitioned
+// mode at the bench layer: the linked replication fleet must produce
+// exactly the same virtual-time results with one worker and with more
+// workers than partitions.
+func TestFleetPartitionIdentical(t *testing.T) {
+	serial := runFleet(3, 200, 1)
+	for _, workers := range []int{2, 4, 9} {
+		part := runFleet(3, 200, workers)
+		if !reflect.DeepEqual(serial, part) {
+			t.Fatalf("fleet results differ at workers=%d:\nserial: %+v\npartitioned: %+v",
+				workers, serial, part)
+		}
+	}
+	if serial.Events == 0 {
+		t.Fatal("fleet executed no events")
+	}
+	for i, ps := range serial.Pairs {
+		if ps.Commits != 200 || ps.Acks != 200 {
+			t.Fatalf("pair %d: commits=%d acks=%d, want 200/200", i, ps.Commits, ps.Acks)
+		}
+		if ps.LagMax < fleetNetLatency+fleetApplyCPU {
+			t.Fatalf("pair %d: max lag %v below link latency + apply cost", i, ps.LagMax)
+		}
+	}
+}
+
+// TestPartitionSpeedupReport checks the -benchjson probe: both runs
+// complete, the identity check holds, and the report fields are sane.
+func TestPartitionSpeedupReport(t *testing.T) {
+	old := PartitionShards()
+	SetPartitionShards(4)
+	defer SetPartitionShards(old)
+	rep := PartitionSpeedup(Scale{AppOps: 1600})
+	if !rep.Identical {
+		t.Fatal("partitioned fleet diverged from serial run")
+	}
+	if rep.Shards != 4 || rep.Pairs != 8 {
+		t.Fatalf("got shards=%d pairs=%d, want 4/8", rep.Shards, rep.Pairs)
+	}
+	if rep.Events == 0 || rep.SerialWallNs <= 0 || rep.PartitionedWallNs <= 0 || rep.Speedup <= 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+}
+
+// TestPshardsInvariance runs representative experiments — including
+// fig9, a multi-instance sweep the ISSUE names — under the semaphore
+// executor and under the partitioned shard executor, demanding
+// byte-identical tables. This is the "determinism suite extended to
+// partitioned mode" bar for the automatic -pshards path.
+func TestPshardsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment sweep; skipped with -short")
+	}
+	sweep := func(shards int) []byte {
+		old := PartitionShards()
+		SetPartitionShards(shards)
+		defer SetPartitionShards(old)
+		var out bytes.Buffer
+		CommitOverhead(Quick).Print(&out)
+		WAFReduction(Quick).Print(&out)
+		Fig9LSM(Quick).Print(&out)
+		PartitionedFleet(Quick).Print(&out)
+		return out.Bytes()
+	}
+	base := sweep(1)
+	for _, shards := range []int{2, 5} {
+		if got := sweep(shards); !bytes.Equal(base, got) {
+			t.Errorf("tables differ between -pshards 1 and -pshards %d:\n--- 1 ---\n%s--- %d ---\n%s",
+				shards, base, shards, got)
+		}
+	}
+}

@@ -335,45 +335,47 @@ func (s *TwoBSSD) internalMove(p *sim.Proc, ent *Entry, write bool) error {
 	sp := s.o.Tracer().Begin("2bssd.datapath", "2bssd", name)
 	defer sp.End()
 	ps := s.PageSize()
+	movePage := func(w *sim.Proc, i int) error {
+		s.arm.Use(w, s.cfg.InternalPerPageCost)
+		off := ent.Offset + i*ps
+		lba := ent.LBA + ftl.LBA(i)
+		if write {
+			// BA_FLUSH is the byte path's host boundary: the page's
+			// content is fixed here for the first time (MMIO stores
+			// have no page-granular commit point), so the integrity
+			// tag is born here.
+			tag := integrity.PageCRC(s.babuf[off : off+ps])
+			if err := s.dev.FTL().WritePageTagged(w, lba, s.babuf[off:off+ps], tag); err != nil {
+				return err
+			}
+			s.inj.Tick(fault.EvBAFlushPage)
+			return nil
+		}
+		// Pin lands NAND pages straight in the BA-buffer frame.
+		tag, tagged, err := s.dev.FTL().ReadPageTaggedInto(w, lba, s.babuf[off:off+ps])
+		if err == nil && tagged {
+			if cerr := integrity.Check(s.babuf[off:off+ps], tag); cerr != nil {
+				err = fmt.Errorf("2bssd: pin lba %d: %w", lba, cerr)
+			}
+		}
+		return err
+	}
+	// Single-page entries (the common case for log windows) run inline:
+	// no fan-out goroutine, WaitGroup or closure — same virtual timing.
+	if ent.Pages == 1 {
+		return movePage(p, 0)
+	}
 	wg := s.env.NewWaitGroup("2bssd.move")
 	wg.Add(ent.Pages)
 	var firstErr error
+	mv := func(w *sim.Proc, i int) {
+		defer wg.Done()
+		if err := movePage(w, i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	for i := 0; i < ent.Pages; i++ {
-		i := i
-		s.env.Go(fmt.Sprintf("2bssd.mv%d", i), func(w *sim.Proc) {
-			defer wg.Done()
-			s.arm.Use(w, s.cfg.InternalPerPageCost)
-			off := ent.Offset + i*ps
-			lba := ent.LBA + ftl.LBA(i)
-			if write {
-				// BA_FLUSH is the byte path's host boundary: the page's
-				// content is fixed here for the first time (MMIO stores
-				// have no page-granular commit point), so the integrity
-				// tag is born here.
-				tag := integrity.PageCRC(s.babuf[off : off+ps])
-				if err := s.dev.FTL().WritePageTagged(w, lba, s.babuf[off:off+ps], tag); err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				s.inj.Tick(fault.EvBAFlushPage)
-				return
-			}
-			data, tag, tagged, err := s.dev.FTL().ReadPageTagged(w, lba)
-			if err == nil && tagged {
-				if cerr := integrity.Check(data, tag); cerr != nil {
-					err = fmt.Errorf("2bssd: pin lba %d: %w", lba, cerr)
-				}
-			}
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			copy(s.babuf[off:off+ps], data)
-		})
+		s.env.GoIdx("2bssd.mv", i, mv)
 	}
 	wg.Wait(p)
 	return firstErr

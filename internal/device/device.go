@@ -160,6 +160,15 @@ type taggedPage struct {
 	tag  uint32
 }
 
+// lbaPend tracks one LBA's in-flight drain state: tickets [head, tail)
+// are popped copies not yet on NAND, pages holds their data oldest
+// first (pagesHead is the consumed prefix).
+type lbaPend struct {
+	head, tail uint64
+	pages      []taggedPage
+	pagesHead  int
+}
+
 // Stats aggregates device-level counters.
 type Stats struct {
 	ReadCmds   uint64
@@ -186,17 +195,19 @@ type Device struct {
 	// in pop order by per-LBA tickets, so NAND always ends with the
 	// newest copy; reads see the newest not-yet-persisted copy.
 	buf          []bufEntry
+	bufHead      int         // drain cursor into buf (popped entries)
 	bufSpace     *sim.Signal // fired when space frees up
 	bufWork      *sim.Signal // fired when work arrives
 	inflight     int         // entries popped by drainers, not yet on NAND
 	inflightDone *sim.Signal // fired when an LBA's oldest copy persists
 	bufDrain     *sim.Signal // fired when buffer+inflight reaches empty
-	// Per-LBA pop bookkeeping: tickets force program order; pendingData
-	// keeps every popped-but-unpersisted copy visible to reads (oldest
-	// first — the newest is the read-visible one).
-	popSeq      uint64
-	popOrder    map[ftl.LBA][]uint64
-	pendingData map[ftl.LBA][]taggedPage
+	// Per-LBA pop bookkeeping: tickets force program order; pages keeps
+	// every popped-but-unpersisted copy visible to reads (oldest first —
+	// the newest is the read-visible one). Structs and page buffers are
+	// pooled: the drain path allocates nothing in steady state.
+	pend      map[ftl.LBA]*lbaPend
+	pendPool  []*lbaPend
+	pageSpare [][]byte
 
 	gate Gate
 
@@ -206,6 +217,7 @@ type Device struct {
 	o                      *obs.Set
 	inj                    *fault.Injector
 	pcieTrack, bufTrack    string
+	rdName, rdWGName       string
 	cReadCmds, cWriteCmds  *obs.Counter
 	cFlushCmds, cTimeouts  *obs.Counter
 	cPagesRead, cPagesWrit *obs.Counter
@@ -232,12 +244,13 @@ func New(env *sim.Env, p Profile) *Device {
 		bufWork:      env.NewSignal(p.Name + ".bufwork"),
 		bufDrain:     env.NewSignal(p.Name + ".bufdrain"),
 		inflightDone: env.NewSignal(p.Name + ".inflightdone"),
-		popOrder:     make(map[ftl.LBA][]uint64),
-		pendingData:  make(map[ftl.LBA][]taggedPage),
+		pend:         make(map[ftl.LBA]*lbaPend),
 		o:            obs.Of(env),
 		inj:          fault.Of(env),
 		pcieTrack:    p.Name + ".pcie",
 		bufTrack:     p.Name + ".wbuf",
+		rdName:       p.Name + ".rd",
+		rdWGName:     p.Name + ".read",
 	}
 	reg := d.o.Registry()
 	d.cReadCmds = reg.Counter(p.Name + ".read_cmds")
@@ -252,8 +265,9 @@ func New(env *sim.Env, p Profile) *Device {
 	d.hWriteCmd = reg.Histo(p.Name + ".write_cmd_ns")
 	d.hFlush = reg.Histo(p.Name + ".flush_ns")
 	reg.GaugeFunc(p.Name+".buffered_pages", func() float64 { return float64(d.BufferedPages()) })
+	drainName := p.Name + ".drain"
 	for i := 0; i < p.DrainWorkers; i++ {
-		env.GoDaemon(fmt.Sprintf("%s.drain%d", p.Name, i), d.drainLoop)
+		env.GoDaemon(drainName, d.drainLoop)
 	}
 	return d
 }
@@ -285,6 +299,42 @@ func (d *Device) Stats() Stats {
 		PagesRead: d.cPagesRead.Value(), PagesWrit: d.cPagesWrit.Value(),
 		GatedReads: d.cGatedRd.Value(), GatedWrits: d.cGatedWr.Value(),
 	}
+}
+
+// getPage returns a page-sized buffer, recycling drained write-buffer
+// copies. Contents are undefined; every user overwrites the whole page.
+func (d *Device) getPage() []byte {
+	if n := len(d.pageSpare); n > 0 {
+		pg := d.pageSpare[n-1]
+		d.pageSpare[n-1] = nil
+		d.pageSpare = d.pageSpare[:n-1]
+		return pg
+	}
+	return make([]byte, d.PageSize())
+}
+
+// putPage recycles a page buffer once no reader can still alias it —
+// readers copy out of buffered pages without yielding, so a page is
+// recyclable as soon as its drain write returns or it is coalesced away.
+func (d *Device) putPage(pg []byte) {
+	d.pageSpare = append(d.pageSpare, pg)
+}
+
+func (d *Device) getPend() *lbaPend {
+	if n := len(d.pendPool); n > 0 {
+		pd := d.pendPool[n-1]
+		d.pendPool[n-1] = nil
+		d.pendPool = d.pendPool[:n-1]
+		return pd
+	}
+	return &lbaPend{}
+}
+
+func (d *Device) putPend(pd *lbaPend) {
+	pd.head, pd.tail = 0, 0
+	pd.pages = pd.pages[:0]
+	pd.pagesHead = 0
+	d.pendPool = append(d.pendPool, pd)
 }
 
 func (d *Device) pcieTime(bytes int) sim.Duration {
@@ -341,40 +391,49 @@ func (d *Device) ReadPages(p *sim.Proc, lba ftl.LBA, n int) ([]byte, error) {
 
 	out := make([]byte, n*ps)
 	var firstErr error
-	wg := d.env.NewWaitGroup(d.profile.Name + ".read")
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		i := i
-		d.env.Go(fmt.Sprintf("%s.rd.p%d", d.profile.Name, i), func(w *sim.Proc) {
-			defer wg.Done()
-			d.fw.Use(w, d.profile.FwPerPageCost)
-			l := lba + ftl.LBA(i)
-			// Serve from the write buffer if a newer copy is there.
-			if data, tag, ok := d.bufLookup(l); ok {
-				if err := integrity.Check(data, tag); err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s: buffered lba %d: %w", d.profile.Name, l, err)
-					}
-					return
+	readPage := func(w *sim.Proc, i int) {
+		d.fw.Use(w, d.profile.FwPerPageCost)
+		l := lba + ftl.LBA(i)
+		dst := out[i*ps : (i+1)*ps]
+		// Serve from the write buffer if a newer copy is there.
+		if data, tag, ok := d.bufLookup(l); ok {
+			if err := integrity.Check(data, tag); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: buffered lba %d: %w", d.profile.Name, l, err)
 				}
-				copy(out[i*ps:], data)
-			} else {
-				data, tag, tagged, err := d.ftl.ReadPageTagged(w, l)
-				if err == nil && tagged {
-					err = integrity.Check(data, tag)
-				}
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s: lba %d: %w", d.profile.Name, l, err)
-					}
-					return
-				}
-				copy(out[i*ps:], data)
+				return
 			}
-			d.pcieXfer(w, ps)
-		})
+			copy(dst, data)
+		} else {
+			tag, tagged, err := d.ftl.ReadPageTaggedInto(w, l, dst)
+			if err == nil && tagged {
+				err = integrity.Check(dst, tag)
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: lba %d: %w", d.profile.Name, l, err)
+				}
+				return
+			}
+		}
+		d.pcieXfer(w, ps)
 	}
-	wg.Wait(p)
+	// Single-page commands (the QD-1 4 KB case the paper sweeps) run
+	// inline: no fan-out goroutine or WaitGroup, same virtual timing.
+	if n == 1 {
+		readPage(p, 0)
+	} else {
+		wg := d.env.NewWaitGroup(d.rdWGName)
+		wg.Add(n)
+		rp := func(w *sim.Proc, i int) {
+			defer wg.Done()
+			readPage(w, i)
+		}
+		for i := 0; i < n; i++ {
+			d.env.GoIdx(d.rdName, i, rp)
+		}
+		wg.Wait(p)
+	}
 	p.Sleep(d.profile.CompletionLatency)
 	cmd.End()
 	if firstErr != nil {
@@ -389,13 +448,13 @@ func (d *Device) ReadPages(p *sim.Proc, lba ftl.LBA, n int) ([]byte, error) {
 // buffered entry, or the newest copy popped by a drain worker that has
 // not reached NAND yet.
 func (d *Device) bufLookup(lba ftl.LBA) ([]byte, uint32, bool) {
-	for i := len(d.buf) - 1; i >= 0; i-- {
+	for i := len(d.buf) - 1; i >= d.bufHead; i-- {
 		if d.buf[i].lba == lba {
 			return d.buf[i].data, d.buf[i].tag, true
 		}
 	}
-	if pend := d.pendingData[lba]; len(pend) > 0 {
-		last := pend[len(pend)-1]
+	if pd := d.pend[lba]; pd != nil && pd.pagesHead < len(pd.pages) {
+		last := pd.pages[len(pd.pages)-1]
 		return last.data, last.tag, true
 	}
 	return nil, 0, false
@@ -430,10 +489,10 @@ func (d *Device) WritePages(p *sim.Proc, lba ftl.LBA, data []byte) error {
 	for i := 0; i < n; i++ {
 		// Transfer the page over PCIe, then wait for buffer space.
 		d.pcieXfer(p, ps)
-		for len(d.buf) >= d.profile.WriteBufferPages {
+		for len(d.buf)-d.bufHead >= d.profile.WriteBufferPages {
 			d.bufSpace.Wait(p)
 		}
-		page := make([]byte, ps)
+		page := d.getPage()
 		copy(page, data[i*ps:(i+1)*ps])
 		// The integrity tag is born here — the block path's host
 		// boundary — and rides with the page to NAND and back.
@@ -478,7 +537,7 @@ func (d *Device) Flush(p *sim.Proc) error {
 // consumers (BA_PIN's internal datapath, the recovery dump, benchmarks
 // that meter NAND bandwidth) need data physically on flash.
 func (d *Device) Drain(p *sim.Proc) error {
-	for len(d.buf) > 0 || d.inflight > 0 {
+	for len(d.buf)-d.bufHead > 0 || d.inflight > 0 {
 		d.bufDrain.Wait(p)
 	}
 	return nil
@@ -488,8 +547,9 @@ func (d *Device) Drain(p *sim.Proc) error {
 // one buffered entry per LBA (the real write buffer's behaviour — and
 // exactly how repeated partial log-page writes are absorbed).
 func (d *Device) coalesce(lba ftl.LBA, page []byte, tag uint32) bool {
-	for i := range d.buf {
+	for i := d.bufHead; i < len(d.buf); i++ {
 		if d.buf[i].lba == lba {
+			d.putPage(d.buf[i].data) // no reader holds it across a yield
 			d.buf[i].data = page
 			d.buf[i].tag = tag
 			return true
@@ -503,18 +563,36 @@ func (d *Device) coalesce(lba ftl.LBA, page []byte, tag uint32) bool {
 // on the same LBA, wait, so the newest copy always lands last.
 func (d *Device) drainLoop(p *sim.Proc) {
 	for {
-		for len(d.buf) == 0 {
+		for len(d.buf) == d.bufHead {
 			d.bufWork.Wait(p)
 		}
-		ent := d.buf[0]
-		d.buf = d.buf[1:]
+		ent := d.buf[d.bufHead]
+		d.buf[d.bufHead] = bufEntry{}
+		d.bufHead++
+		if d.bufHead == len(d.buf) {
+			d.buf = d.buf[:0] // reuse the backing array
+			d.bufHead = 0
+		} else if d.bufHead > 1024 && d.bufHead > len(d.buf)/2 {
+			// Compact the consumed prefix so the array stays bounded
+			// even if the buffer never fully empties.
+			n := copy(d.buf, d.buf[d.bufHead:])
+			for i := n; i < len(d.buf); i++ {
+				d.buf[i] = bufEntry{}
+			}
+			d.buf = d.buf[:n]
+			d.bufHead = 0
+		}
 		d.inflight++
 		d.bufSpace.Fire()
-		d.popSeq++
-		ticket := d.popSeq
-		d.popOrder[ent.lba] = append(d.popOrder[ent.lba], ticket)
-		d.pendingData[ent.lba] = append(d.pendingData[ent.lba], taggedPage{data: ent.data, tag: ent.tag})
-		for d.popOrder[ent.lba][0] != ticket {
+		pd := d.pend[ent.lba]
+		if pd == nil {
+			pd = d.getPend()
+			d.pend[ent.lba] = pd
+		}
+		ticket := pd.tail
+		pd.tail++
+		pd.pages = append(pd.pages, taggedPage{data: ent.data, tag: ent.tag})
+		for pd.head != ticket {
 			d.inflightDone.Wait(p)
 		}
 		sp := d.o.Tracer().BeginProc(p, "device", "drain_write")
@@ -524,22 +602,32 @@ func (d *Device) drainLoop(p *sim.Proc) {
 			panic(fmt.Sprintf("%s: drain write failed: %v", d.profile.Name, err))
 		}
 		sp.End()
-		d.popOrder[ent.lba] = d.popOrder[ent.lba][1:]
-		if len(d.popOrder[ent.lba]) == 0 {
-			delete(d.popOrder, ent.lba)
-		}
-		d.pendingData[ent.lba] = d.pendingData[ent.lba][1:]
-		if len(d.pendingData[ent.lba]) == 0 {
-			delete(d.pendingData, ent.lba)
-		}
+		pd.head++
+		pd.pages[pd.pagesHead] = taggedPage{}
+		d.putPage(ent.data) // NAND holds its own copy now
+		d.pagesPop(pd, ent.lba)
 		d.inflightDone.Fire()
 		d.inflight--
 		d.o.Tracer().Count(d.bufTrack, "buffered_pages", float64(d.BufferedPages()))
-		if len(d.buf) == 0 && d.inflight == 0 {
+		if len(d.buf) == d.bufHead && d.inflight == 0 {
 			d.bufDrain.Fire()
 		}
 	}
 }
 
+// pagesPop advances pd's consumed-pages cursor and returns the struct
+// to the pool once the LBA has no in-flight copies left.
+func (d *Device) pagesPop(pd *lbaPend, lba ftl.LBA) {
+	pd.pagesHead++
+	if pd.pagesHead == len(pd.pages) {
+		pd.pages = pd.pages[:0]
+		pd.pagesHead = 0
+	}
+	if pd.head == pd.tail {
+		delete(d.pend, lba)
+		d.putPend(pd)
+	}
+}
+
 // BufferedPages reports how many pages currently sit in the write buffer.
-func (d *Device) BufferedPages() int { return len(d.buf) + d.inflight }
+func (d *Device) BufferedPages() int { return len(d.buf) - d.bufHead + d.inflight }

@@ -27,6 +27,7 @@ func pagesFor(bytes, pageSize int) int {
 // `size` bytes on a fresh device (preconditioned so reads hit NAND).
 func BlockReadLatency(mk func(*sim.Env) *device.Device, size, reps int) sim.Duration {
 	e := sim.NewEnv()
+	defer e.Shutdown()
 	d := mk(e)
 	ps := d.PageSize()
 	n := pagesFor(size, ps)
@@ -53,6 +54,7 @@ func BlockReadLatency(mk func(*sim.Env) *device.Device, size, reps int) sim.Dura
 // BlockWriteLatency measures the QD-1 average latency of block writes.
 func BlockWriteLatency(mk func(*sim.Env) *device.Device, size, reps int) sim.Duration {
 	e := sim.NewEnv()
+	defer e.Shutdown()
 	d := mk(e)
 	ps := d.PageSize()
 	n := pagesFor(size, ps)
@@ -74,6 +76,7 @@ func BlockWriteLatency(mk func(*sim.Env) *device.Device, size, reps int) sim.Dur
 // MMIOWriteLatency measures a plain MMIO store sequence of size bytes.
 func MMIOWriteLatency(mk func(*sim.Env) *core.TwoBSSD, size, reps int, persistent bool) sim.Duration {
 	e := sim.NewEnv()
+	defer e.Shutdown()
 	s := mk(e)
 	buf := make([]byte, size)
 	var total sim.Duration
@@ -103,6 +106,7 @@ func MMIOWriteLatency(mk func(*sim.Env) *core.TwoBSSD, size, reps int, persisten
 // through the read DMA engine.
 func MMIOReadLatency(mk func(*sim.Env) *core.TwoBSSD, size, reps int, useDMA bool) sim.Duration {
 	e := sim.NewEnv()
+	defer e.Shutdown()
 	s := mk(e)
 	buf := make([]byte, size)
 	var total sim.Duration
@@ -141,6 +145,7 @@ func MBps(bytes int64, d sim.Duration) float64 {
 // reqBytes (reads preconditioned; writes measured to the flush).
 func BlockBandwidth(mk func(*sim.Env) *device.Device, reqBytes int, write bool) float64 {
 	e := sim.NewEnv()
+	defer e.Shutdown()
 	d := mk(e)
 	ps := d.PageSize()
 	n := pagesFor(reqBytes, ps)
@@ -178,6 +183,7 @@ func BlockBandwidth(mk func(*sim.Env) *device.Device, reqBytes int, write bool) 
 // requests larger than it (the paper measures exactly these calls).
 func InternalBandwidth(mk func(*sim.Env) *core.TwoBSSD, reqBytes int, write bool) float64 {
 	e := sim.NewEnv()
+	defer e.Shutdown()
 	s := mk(e)
 	ps := s.PageSize()
 	bufPages := s.BufferPages()

@@ -12,6 +12,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"twobssd/internal/fault"
 	"twobssd/internal/histo"
@@ -89,8 +90,9 @@ type FTL struct {
 	// processes cannot reorder page programs within a block (the NAND
 	// sequential-program rule). gcLock serializes garbage collection.
 	// Lock order: gcLock strictly before any dieLock.
-	dieLocks []*sim.Resource
+	dieLocks []sim.Resource // one backing array; elements never copied
 	gcLock   *sim.Resource
+	gcBuf    []byte // relocation scratch page; gcLock serializes users
 
 	o                              *obs.Set
 	inj                            *fault.Injector
@@ -98,6 +100,23 @@ type FTL struct {
 	cNandWrites, cGCReloc, cGCRuns *obs.Counter
 	cRetired, cRetireReloc         *obs.Counter
 	hWrite, hGCPause               *histo.H
+}
+
+// dieNameTab memoizes "ftl.die%d" strings process-wide: the names are
+// identical in every environment, and short-lived benchmark envs
+// otherwise pay the formatting on every construction.
+var dieNameTab struct {
+	sync.Mutex
+	names []string
+}
+
+func dieNames(n int) []string {
+	dieNameTab.Lock()
+	defer dieNameTab.Unlock()
+	for i := len(dieNameTab.names); i < n; i++ {
+		dieNameTab.names = append(dieNameTab.names, fmt.Sprintf("ftl.die%d", i))
+	}
+	return dieNameTab.names[:n]
 }
 
 // New builds an FTL over flash. Panics on impossible configurations
@@ -136,9 +155,7 @@ func New(env *sim.Env, flash *nand.Flash, cfg Config) *FTL {
 	for i := range f.open {
 		f.open[i] = openBlock{blk: nand.BlockID(0), nextPage: -1}
 	}
-	for i := 0; i < fc.Dies(); i++ {
-		f.dieLocks = append(f.dieLocks, env.NewResource(fmt.Sprintf("ftl.die%d", i), 1))
-	}
+	f.dieLocks = env.NewResources(dieNames(fc.Dies()), 1)
 	f.gcLock = env.NewResource("ftl.gc", 1)
 	// All non-reserved blocks start free (the last ReservedPerDie
 	// blocks of each die belong to the recovery manager).
@@ -404,28 +421,47 @@ func (f *FTL) ReadPage(p *sim.Proc, lba LBA) ([]byte, error) {
 // tagged is false for unmapped pages and for pages written through the
 // untagged WritePage path.
 func (f *FTL) ReadPageTagged(p *sim.Proc, lba LBA) (data []byte, tag uint32, tagged bool, err error) {
-	if err := f.checkLBA(lba); err != nil {
+	out := make([]byte, f.PageSize())
+	tag, tagged, err = f.ReadPageTaggedInto(p, lba, out)
+	if err != nil {
 		return nil, 0, false, err
+	}
+	return out, tag, tagged, nil
+}
+
+// ReadPageTaggedInto is ReadPageTagged reading into a caller-provided
+// buffer of at least PageSize bytes. Device-level read fan-out uses it
+// to land pages directly in the host buffer with zero copies or
+// allocations on the fault-free path.
+func (f *FTL) ReadPageTaggedInto(p *sim.Proc, lba LBA, dst []byte) (tag uint32, tagged bool, err error) {
+	if err := f.checkLBA(lba); err != nil {
+		return 0, false, err
 	}
 	f.cHostReads.Inc()
 	ppa, ok := f.l2p[lba]
 	if !ok {
-		return make([]byte, f.PageSize()), 0, false, nil
+		dst = dst[:f.PageSize()]
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0, false, nil
 	}
-	data, tag, tagged, _, err = f.flash.ReadPageTagged(p, ppa)
+	tag, tagged, _, err = f.flash.ReadPageTaggedInto(p, ppa, dst)
 	if err != nil {
 		if !errors.Is(err, nand.ErrUncorrectable) {
-			return nil, 0, false, err
+			return 0, false, err
 		}
+		var data []byte
 		data, tag, tagged, err = f.flash.SalvageReadTagged(p, ppa)
 		if err != nil {
-			return nil, 0, false, err
+			return 0, false, err
 		}
+		copy(dst, data)
 		if rerr := f.retireBlock(p, f.flash.Config().BlockOf(ppa)); rerr != nil {
-			return nil, 0, false, fmt.Errorf("ftl: retire after uncorrectable read: %w", rerr)
+			return 0, false, fmt.Errorf("ftl: retire after uncorrectable read: %w", rerr)
 		}
 	}
-	return data, tag, tagged, nil
+	return tag, tagged, nil
 }
 
 // Trim invalidates a logical page without writing.
@@ -467,6 +503,9 @@ func (f *FTL) maybeGC(p *sim.Proc) error {
 // Called with gcLock held.
 func (f *FTL) collect(p *sim.Proc) error {
 	fc := f.flash.Config()
+	if f.gcBuf == nil {
+		f.gcBuf = make([]byte, fc.PageSize)
+	}
 	for len(f.free) <= f.cfg.GCFreeTarget {
 		victim, ok := f.pickVictim()
 		if !ok {
@@ -483,7 +522,8 @@ func (f *FTL) collect(p *sim.Proc) error {
 			if !valid {
 				continue
 			}
-			data, tag, tagged, _, err := f.flash.ReadPageTagged(p, ppa)
+			data := f.gcBuf
+			tag, tagged, _, err := f.flash.ReadPageTaggedInto(p, ppa, data)
 			if err != nil {
 				// The victim is about to be erased anyway: salvage an
 				// uncorrectable page instead of failing the write path.

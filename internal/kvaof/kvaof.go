@@ -70,16 +70,26 @@ type Stats struct {
 	Rewrites         uint64
 }
 
+// entry is one dictionary value. Values are boxed so a hot update
+// mutates in place (reusing the buffer) instead of paying a map
+// assignment — and its key-string conversion — per write.
+type entry struct {
+	v []byte
+}
+
 // Store is the key-value store.
 type Store struct {
 	env  *sim.Env
 	cfg  Config
-	dict map[string][]byte
+	dict map[string]*entry
 	aof  *wal.Log
 	file *vfs.File
 	// loop serializes every command: Redis's single-threaded design.
 	loop  *sim.Resource
 	stats Stats
+	// scratch backs AOF record encoding; safe to reuse because the
+	// command loop is exclusive and wal.Append copies the payload.
+	scratch []byte
 }
 
 const aofName = "appendonly.aof"
@@ -92,7 +102,7 @@ func Open(env *sim.Env, p *sim.Proc, cfg Config) (*Store, error) {
 	s := &Store{
 		env:  env,
 		cfg:  cfg,
-		dict: make(map[string][]byte),
+		dict: make(map[string]*entry),
 		loop: env.NewResource("kvaof.loop", 1),
 	}
 	existing := cfg.LogFS.Exists(aofName)
@@ -164,8 +174,14 @@ const (
 	cmdAppend = byte(4)
 )
 
-func encodeCmd(op byte, key, value []byte) []byte {
-	out := make([]byte, 5+len(key)+len(value))
+// encodeCmd builds one AOF record in the store's scratch buffer; the
+// result is valid until the next encodeCmd call.
+func (s *Store) encodeCmd(op byte, key, value []byte) []byte {
+	need := 5 + len(key) + len(value)
+	if cap(s.scratch) < need {
+		s.scratch = make([]byte, need)
+	}
+	out := s.scratch[:need]
 	out[0] = op
 	binary.LittleEndian.PutUint32(out[1:], uint32(len(key)))
 	copy(out[5:], key)
@@ -193,7 +209,7 @@ func (s *Store) Set(p *sim.Proc, key, value []byte) error {
 	if err := s.logCmd(p, cmdSet, key, value); err != nil {
 		return err
 	}
-	s.dict[string(key)] = append([]byte(nil), value...)
+	s.put(key, value)
 	s.stats.Sets++
 	return nil
 }
@@ -211,24 +227,47 @@ func (s *Store) Del(p *sim.Proc, key []byte) error {
 	return nil
 }
 
-// Get returns the value for key.
+// Get returns the value for key. The returned bytes alias store
+// memory and are valid until the next write of that key; callers that
+// keep them across writes must copy.
 func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, bool) {
 	s.loop.Acquire(p)
 	defer s.loop.Release()
 	p.Sleep(s.cfg.ReadCPU)
 	s.stats.Gets++
-	v, ok := s.dict[string(key)]
+	e, ok := s.dict[string(key)]
 	if !ok {
 		return nil, false
 	}
 	s.stats.Hits++
-	return append([]byte(nil), v...), true
+	return e.v, true
+}
+
+// put installs key=value, reusing the existing entry's buffer when the
+// key is already present (a map lookup on a []byte key does not
+// allocate; a map assignment would).
+func (s *Store) put(key, value []byte) {
+	if e, ok := s.dict[string(key)]; ok {
+		e.v = append(e.v[:0], value...)
+		return
+	}
+	s.dict[string(key)] = &entry{v: append([]byte(nil), value...)}
+}
+
+// lookup returns the entry for key, creating it if missing.
+func (s *Store) lookup(key []byte) *entry {
+	if e, ok := s.dict[string(key)]; ok {
+		return e
+	}
+	e := &entry{}
+	s.dict[string(key)] = e
+	return e
 }
 
 // logCmd appends and commits one AOF record, rewriting the AOF when it
 // fills (Redis's BGREWRITEAOF, done inline: single-threaded).
 func (s *Store) logCmd(p *sim.Proc, op byte, key, value []byte) error {
-	rec := encodeCmd(op, key, value)
+	rec := s.encodeCmd(op, key, value)
 	lsn, err := s.aof.Append(p, rec)
 	if errors.Is(err, wal.ErrLogFull) {
 		if err = s.rewrite(p); err != nil {
@@ -247,8 +286,8 @@ func (s *Store) rewrite(p *sim.Proc) error {
 	if err := s.aof.Reset(p); err != nil {
 		return err
 	}
-	for k, v := range s.dict {
-		lsn, err := s.aof.Append(p, encodeCmd(cmdSet, []byte(k), v))
+	for k, e := range s.dict {
+		lsn, err := s.aof.Append(p, s.encodeCmd(cmdSet, []byte(k), e.v))
 		if err != nil {
 			return fmt.Errorf("kvaof: rewrite overflow: %w", err)
 		}
@@ -269,7 +308,7 @@ func (s *Store) replay(p *sim.Proc) error {
 		}
 		switch op {
 		case cmdSet:
-			s.dict[string(key)] = append([]byte(nil), value...)
+			s.put(key, value)
 		case cmdDel:
 			delete(s.dict, string(key))
 		case cmdIncr:
@@ -282,18 +321,17 @@ func (s *Store) replay(p *sim.Proc) error {
 }
 
 func (s *Store) applyIncr(key []byte) int64 {
-	n, _ := strconv.ParseInt(string(s.dict[string(key)]), 10, 64)
+	e := s.lookup(key)
+	n, _ := strconv.ParseInt(string(e.v), 10, 64)
 	n++
-	s.dict[string(key)] = []byte(strconv.FormatInt(n, 10))
+	e.v = strconv.AppendInt(e.v[:0], n, 10)
 	return n
 }
 
 func (s *Store) applyAppend(key, value []byte) int {
-	cur := s.dict[string(key)]
-	next := make([]byte, 0, len(cur)+len(value))
-	next = append(append(next, cur...), value...)
-	s.dict[string(key)] = next
-	return len(next)
+	e := s.lookup(key)
+	e.v = append(e.v, value...)
+	return len(e.v)
 }
 
 // Incr atomically increments the integer value at key (INCR), starting

@@ -50,7 +50,10 @@ func encodeBatchRecord(ops []batchOp) []byte {
 	for _, o := range ops {
 		size += 9 + len(o.key) + len(o.value)
 	}
-	out := make([]byte, size)
+	return encodeBatchRecordInto(make([]byte, size), ops)
+}
+
+func encodeBatchRecordInto(out []byte, ops []batchOp) []byte {
 	out[0] = recBatch
 	binary.LittleEndian.PutUint32(out[1:], uint32(len(ops)))
 	pos := 5
@@ -112,7 +115,11 @@ func (db *DB) Write(p *sim.Proc, b *WriteBatch) error {
 			return err
 		}
 	}
-	lsn, err := db.walAct.Append(p, encodeBatchRecord(b.ops))
+	size := 5
+	for _, o := range b.ops {
+		size += 9 + len(o.key) + len(o.value)
+	}
+	lsn, err := db.walAct.Append(p, encodeBatchRecordInto(db.encScratch(size), b.ops))
 	if err != nil {
 		db.wlock.Release()
 		return err

@@ -130,7 +130,21 @@ type DB struct {
 	activeReaders int
 	obsolete      []string
 
+	// encBuf is the WAL-record encoding scratch. Writers hold wlock
+	// across encode+Append, and wal.Append copies the payload out
+	// before returning, so one buffer serves all writers.
+	encBuf []byte
+
 	stats Stats
+}
+
+// encScratch returns an n-byte slice of the encode scratch, growing it
+// as needed. Callers must hold wlock.
+func (db *DB) encScratch(n int) []byte {
+	if cap(db.encBuf) < n {
+		db.encBuf = make([]byte, n+n/2)
+	}
+	return db.encBuf[:n]
 }
 
 // Open creates or recovers a DB. Existing WAL files on LogFS are
@@ -281,7 +295,10 @@ const (
 )
 
 func encodeRecord(typ byte, key, value []byte) []byte {
-	out := make([]byte, 1+4+len(key)+len(value))
+	return encodeRecordInto(make([]byte, 1+4+len(key)+len(value)), typ, key, value)
+}
+
+func encodeRecordInto(out []byte, typ byte, key, value []byte) []byte {
 	out[0] = typ
 	binary.LittleEndian.PutUint32(out[1:], uint32(len(key)))
 	copy(out[5:], key)
@@ -320,7 +337,8 @@ func (db *DB) write(p *sim.Proc, typ byte, key, value []byte) error {
 			return err
 		}
 	}
-	lsn, err := db.walAct.Append(p, encodeRecord(typ, key, value))
+	rec := encodeRecordInto(db.encScratch(1+4+len(key)+len(value)), typ, key, value)
+	lsn, err := db.walAct.Append(p, rec)
 	if err != nil {
 		db.wlock.Release()
 		return err

@@ -31,7 +31,21 @@ type memtable struct {
 	rng    *rand.Rand
 	bytes  int
 	count  int
+
+	// Arena allocation: nodes and key/value copies are carved from
+	// chunks so an add costs ~3 allocations per few hundred entries
+	// instead of 3 each. Chunks are never reused — retired chunks stay
+	// alive exactly as long as skiplist pointers into them do, and the
+	// whole arena dies with the memtable at flush.
+	nodes []memNode
+	nused int
+	arena []byte
 }
+
+const (
+	memNodeChunk  = 256
+	memArenaChunk = 1 << 16
+)
 
 func newMemtable(seed int64) *memtable {
 	return &memtable{
@@ -39,6 +53,36 @@ func newMemtable(seed int64) *memtable {
 		height: 1,
 		rng:    rand.New(rand.NewSource(seed)),
 	}
+}
+
+func (m *memtable) newNode() *memNode {
+	if m.nused == len(m.nodes) {
+		m.nodes = make([]memNode, memNodeChunk)
+		m.nused = 0
+	}
+	n := &m.nodes[m.nused]
+	m.nused++
+	return n
+}
+
+var emptyBytes = []byte{}
+
+// copyArena copies b into the memtable's byte arena.
+func (m *memtable) copyArena(b []byte) []byte {
+	if len(b) == 0 {
+		return emptyBytes // non-nil: nil means tombstone
+	}
+	if len(b) > len(m.arena) {
+		size := memArenaChunk
+		if len(b) > size {
+			size = len(b)
+		}
+		m.arena = make([]byte, size)
+	}
+	c := m.arena[:len(b):len(b)]
+	m.arena = m.arena[len(b):]
+	copy(c, b)
+	return c
 }
 
 // compare orders by key ascending, then seq descending (newer first).
@@ -81,9 +125,11 @@ func (m *memtable) add(key []byte, seq uint64, value []byte) {
 		}
 		m.height = h
 	}
-	n := &memNode{key: append([]byte(nil), key...), seq: seq, value: value}
+	n := m.newNode()
+	n.key = m.copyArena(key)
+	n.seq = seq
 	if value != nil {
-		n.value = append([]byte(nil), value...)
+		n.value = m.copyArena(value)
 	}
 	for lvl := 0; lvl < h; lvl++ {
 		n.next[lvl] = prev[lvl].next[lvl]

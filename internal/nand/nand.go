@@ -13,6 +13,7 @@ package nand
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"twobssd/internal/fault"
 	"twobssd/internal/histo"
@@ -168,6 +169,7 @@ type Flash struct {
 	dies     []*sim.Resource
 	blocks   []blockState
 	data     map[PPA][]byte
+	spare    [][]byte // page buffers retired by EraseBlock, reused by programPage
 	oob      map[PPA]oobTag
 
 	o        *obs.Set
@@ -184,6 +186,25 @@ type Flash struct {
 	cReads, cPrograms, cErases *obs.Counter
 	cBytesRead, cBytesWritten  *obs.Counter
 	hRead, hProgram, hErase    *histo.H
+}
+
+// Channel and die names are identical for every Flash in the process,
+// so they are formatted once and shared; tracks get the zero-padded
+// variant so trace viewers sort them correctly.
+var nameTab struct {
+	sync.Mutex
+	ch, chT, die, dieT []string
+}
+
+func nandNames(names, tracks *[]string, prefix string, n int) ([]string, []string) {
+	nameTab.Lock()
+	defer nameTab.Unlock()
+	for len(*names) < n {
+		i := len(*names)
+		*names = append(*names, fmt.Sprintf("%s%d", prefix, i))
+		*tracks = append(*tracks, fmt.Sprintf("%s%02d", prefix, i))
+	}
+	return (*names)[:n:n], (*tracks)[:n:n]
 }
 
 // New creates a flash array. It panics on an invalid configuration
@@ -204,13 +225,15 @@ func New(env *sim.Env, cfg Config) *Flash {
 	if f.inj != nil {
 		f.progAt = make(map[PPA]sim.Time)
 	}
+	chNames, chTracks := nandNames(&nameTab.ch, &nameTab.chT, "nand.ch", cfg.Channels)
+	f.chTrack = chTracks
 	for i := 0; i < cfg.Channels; i++ {
-		f.channels = append(f.channels, env.NewResource(fmt.Sprintf("nand.ch%d", i), 1))
-		f.chTrack = append(f.chTrack, fmt.Sprintf("nand.ch%02d", i))
+		f.channels = append(f.channels, env.NewResource(chNames[i], 1))
 	}
+	dieNames, dieTracks := nandNames(&nameTab.die, &nameTab.dieT, "nand.die", cfg.Dies())
+	f.dieTrack = dieTracks
 	for i := 0; i < cfg.Dies(); i++ {
-		f.dies = append(f.dies, env.NewResource(fmt.Sprintf("nand.die%d", i), 1))
-		f.dieTrack = append(f.dieTrack, fmt.Sprintf("nand.die%02d", i))
+		f.dies = append(f.dies, env.NewResource(dieNames[i], 1))
 	}
 	reg := f.o.Registry()
 	f.cReads = reg.Counter("nand.page_reads")
@@ -276,9 +299,21 @@ func (f *Flash) ReadPage(p *sim.Proc, ppa PPA) ([]byte, error) {
 // latent-but-correctable errors — the signal the background scrubber
 // acts on before wear or retention pushes the page past the ECC budget.
 func (f *Flash) ReadPageTagged(p *sim.Proc, ppa PPA) (data []byte, tag uint32, tagged bool, retries int, err error) {
-	data, tag, tagged, err = f.readTimed(p, ppa)
+	out := make([]byte, f.cfg.PageSize)
+	tag, tagged, retries, err = f.ReadPageTaggedInto(p, ppa, out)
 	if err != nil {
-		return nil, 0, false, 0, err
+		return nil, 0, false, retries, err
+	}
+	return out, tag, tagged, retries, nil
+}
+
+// ReadPageTaggedInto is ReadPageTagged reading into a caller-provided
+// buffer of at least PageSize bytes, so hot read paths can recycle one
+// destination instead of allocating a page per read.
+func (f *Flash) ReadPageTaggedInto(p *sim.Proc, ppa PPA, dst []byte) (tag uint32, tagged bool, retries int, err error) {
+	tag, tagged, err = f.readTimedInto(p, ppa, dst)
+	if err != nil {
+		return 0, false, 0, err
 	}
 	if f.inj != nil {
 		blk := f.cfg.BlockOf(ppa)
@@ -292,10 +327,10 @@ func (f *Flash) ReadPageTagged(p *sim.Proc, ppa PPA) (data []byte, tag uint32, t
 			retries = rd.Retries
 		}
 		if rd.Uncorrectable {
-			return nil, 0, false, retries, fmt.Errorf("%w: ppa %d", ErrUncorrectable, uint64(ppa))
+			return 0, false, retries, fmt.Errorf("%w: ppa %d", ErrUncorrectable, uint64(ppa))
 		}
 	}
-	return data, tag, tagged, retries, nil
+	return tag, tagged, retries, nil
 }
 
 // SalvageRead is the FTL's last-resort read of an uncorrectable page:
@@ -315,8 +350,17 @@ func (f *Flash) SalvageReadTagged(p *sim.Proc, ppa PPA) (data []byte, tag uint32
 }
 
 func (f *Flash) readTimed(p *sim.Proc, ppa PPA) ([]byte, uint32, bool, error) {
-	if err := f.checkPPA(ppa); err != nil {
+	out := make([]byte, f.cfg.PageSize)
+	tag, tagged, err := f.readTimedInto(p, ppa, out)
+	if err != nil {
 		return nil, 0, false, err
+	}
+	return out, tag, tagged, nil
+}
+
+func (f *Flash) readTimedInto(p *sim.Proc, ppa PPA, dst []byte) (uint32, bool, error) {
+	if err := f.checkPPA(ppa); err != nil {
+		return 0, false, err
 	}
 	die := f.cfg.DieOf(ppa)
 	ch := f.cfg.ChannelOf(die)
@@ -337,10 +381,13 @@ func (f *Flash) readTimed(p *sim.Proc, ppa PPA) ([]byte, uint32, bool, error) {
 	f.cReads.Inc()
 	f.cBytesRead.Add(uint64(f.cfg.PageSize))
 	f.hRead.Observe(sim.Duration(f.env.Now() - start))
-	out := make([]byte, f.cfg.PageSize)
-	copy(out, f.data[ppa])
+	dst = dst[:f.cfg.PageSize]
+	n := copy(dst, f.data[ppa])
+	for i := n; i < len(dst); i++ { // unprogrammed pages read as zeroes
+		dst[i] = 0
+	}
 	t := f.oob[ppa]
-	return out, t.tag, t.tagged, nil
+	return t.tag, t.tagged, nil
 }
 
 // ProgramPage transfers data over the channel and programs one page.
@@ -392,8 +439,18 @@ func (f *Flash) programPage(p *sim.Proc, ppa PPA, data []byte, t oobTag) error {
 		return fmt.Errorf("%w: block %d page %d", ErrProgramFailed, f.cfg.BlockOf(ppa), page)
 	}
 	blk.nextPage++
-	stored := make([]byte, f.cfg.PageSize)
-	copy(stored, data)
+	var stored []byte
+	if n := len(f.spare); n > 0 {
+		stored = f.spare[n-1]
+		f.spare[n-1] = nil
+		f.spare = f.spare[:n-1]
+	} else {
+		stored = make([]byte, f.cfg.PageSize)
+	}
+	n := copy(stored, data)
+	for i := n; i < len(stored); i++ { // short writes are zero-padded
+		stored[i] = 0
+	}
 	f.data[ppa] = stored
 	if t.tagged {
 		f.oob[ppa] = t
@@ -440,7 +497,10 @@ func (f *Flash) EraseBlock(p *sim.Proc, blk BlockID) error {
 	f.hErase.Observe(sim.Duration(f.env.Now() - start))
 	base := PPA(uint64(blk) * uint64(f.cfg.PagesPerBlock))
 	for i := 0; i < f.cfg.PagesPerBlock; i++ {
-		delete(f.data, base+PPA(i))
+		if pg, ok := f.data[base+PPA(i)]; ok {
+			f.spare = append(f.spare, pg)
+			delete(f.data, base+PPA(i))
+		}
 		delete(f.oob, base+PPA(i))
 		if f.inj != nil {
 			delete(f.progAt, base+PPA(i))

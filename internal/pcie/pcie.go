@@ -86,8 +86,12 @@ type Window struct {
 	mem []byte
 
 	// pending holds WC bursts not yet committed to the device, in
-	// arrival order (oldest first). Lost on power failure.
-	pending []burst
+	// arrival order (oldest first). Lost on power failure. The head
+	// advances by cursor and retired burst buffers are recycled through
+	// spare, so steady-state staging does not allocate.
+	pending  []burst
+	pendHead int
+	spare    [][]byte
 
 	// Metrics ("pcie.*" in the obs registry — Stats() reads them back,
 	// so the MMIO report and this API agree by construction).
@@ -124,7 +128,7 @@ func NewWindow(env *sim.Env, cfg Config, mem []byte) *Window {
 	w.hWrite = reg.Histo("pcie.mmio_write_ns")
 	w.hRead = reg.Histo("pcie.mmio_read_ns")
 	w.hSync = reg.Histo("pcie.sync_ns")
-	reg.GaugeFunc("pcie.pending_bursts", func() float64 { return float64(len(w.pending)) })
+	reg.GaugeFunc("pcie.pending_bursts", func() float64 { return float64(w.PendingBursts()) })
 	return w
 }
 
@@ -172,15 +176,16 @@ func (w *Window) Write(p *sim.Proc, off int, data []byte) error {
 		if hi > off+len(data) {
 			hi = off + len(data)
 		}
-		seg := make([]byte, hi-lo)
+		seg := w.getSeg(hi - lo)
 		copy(seg, data[lo-off:hi-off])
 		w.pending = append(w.pending, burst{off: lo, data: seg})
 		w.inj.Tick(fault.EvWCBurst)
 	}
 	// Finite WC buffer pool: oldest bursts evict to the device.
-	for len(w.pending) > w.cfg.WCBufferBursts {
-		w.commitBurst(w.pending[0])
-		w.pending = w.pending[1:]
+	for w.PendingBursts() > w.cfg.WCBufferBursts {
+		b := w.popPending()
+		w.commitBurst(b)
+		w.putSeg(b.data)
 		w.cEvictions.Inc()
 	}
 	w.cWrites.Inc()
@@ -191,6 +196,34 @@ func (w *Window) Write(p *sim.Proc, off int, data []byte) error {
 func (w *Window) commitBurst(b burst) {
 	copy(w.mem[b.off:], b.data)
 	w.committedBytes += uint64(len(b.data))
+}
+
+// getSeg returns a burst buffer of length n (≤ one WC burst), reusing a
+// retired one when available.
+func (w *Window) getSeg(n int) []byte {
+	if k := len(w.spare); k > 0 {
+		s := w.spare[k-1]
+		w.spare[k-1] = nil
+		w.spare = w.spare[:k-1]
+		return s[:n]
+	}
+	return make([]byte, n, w.cfg.WCBurstBytes)
+}
+
+func (w *Window) putSeg(s []byte) { w.spare = append(w.spare, s) }
+
+// popPending removes the oldest staged burst (caller checked there is
+// one). The head moves by cursor so the backing array is recycled, not
+// re-sliced away.
+func (w *Window) popPending() burst {
+	b := w.pending[w.pendHead]
+	w.pending[w.pendHead] = burst{}
+	w.pendHead++
+	if w.pendHead == len(w.pending) {
+		w.pending = w.pending[:0]
+		w.pendHead = 0
+	}
+	return b
 }
 
 // Read performs an MMIO load of len(buf) bytes at off. Reads from WC
@@ -215,10 +248,11 @@ func (w *Window) Read(p *sim.Proc, off int, buf []byte) error {
 }
 
 func (w *Window) drainPending() {
-	for _, b := range w.pending {
+	for w.PendingBursts() > 0 {
+		b := w.popPending()
 		w.commitBurst(b)
+		w.putSeg(b.data)
 	}
-	w.pending = w.pending[:0]
 }
 
 // Sync executes the durability protocol for [off, off+n): clflush per
@@ -250,13 +284,15 @@ func (w *Window) Sync(p *sim.Proc, off, n int) error {
 // that were never synced or evicted vanish. Returns the number of
 // bursts lost.
 func (w *Window) DropPending() int {
-	n := len(w.pending)
-	w.pending = w.pending[:0]
+	n := w.PendingBursts()
+	for w.PendingBursts() > 0 {
+		w.putSeg(w.popPending().data)
+	}
 	return n
 }
 
 // PendingBursts reports how many WC bursts are staged (volatile).
-func (w *Window) PendingBursts() int { return len(w.pending) }
+func (w *Window) PendingBursts() int { return len(w.pending) - w.pendHead }
 
 // Stats reports operation counters.
 type Stats struct {

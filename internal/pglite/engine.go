@@ -110,6 +110,32 @@ type Engine struct {
 	ckptDone      *sim.Signal
 
 	stats Stats
+
+	// scanPool recycles scan scratch (key/rid staging) across calls;
+	// each in-flight scan holds its own buffer, so concurrent scans
+	// that park mid-read never share one.
+	scanPool []*scanBuf
+}
+
+type scanBuf struct {
+	keys [][]byte
+	rids []rid
+}
+
+func (e *Engine) getScanBuf() *scanBuf {
+	if n := len(e.scanPool); n > 0 {
+		b := e.scanPool[n-1]
+		e.scanPool[n-1] = nil
+		e.scanPool = e.scanPool[:n-1]
+		return b
+	}
+	return &scanBuf{}
+}
+
+func (e *Engine) putScanBuf(b *scanBuf) {
+	b.keys = b.keys[:0]
+	b.rids = b.rids[:0]
+	e.scanPool = append(e.scanPool, b)
 }
 
 const xlogName = "xlog"
@@ -243,14 +269,25 @@ func (t *Txn) Delete(table string, key []byte) {
 	t.ops = append(t.ops, op{code: opDelete, table: table, key: append([]byte(nil), key...)})
 }
 
-// Get reads the committed value of key.
+// Get reads the committed value of key. The returned bytes alias
+// engine-internal storage and must not be modified by the caller.
 func (t *Txn) Get(p *sim.Proc, table string, key []byte) ([]byte, bool, error) {
 	return t.e.get(p, table, key)
 }
 
-// Scan visits committed keys >= start in order, up to limit.
+// Scan visits committed keys >= start in order, up to limit. Returned
+// keys and values alias engine-internal storage and must not be
+// modified by the caller.
 func (t *Txn) Scan(p *sim.Proc, table string, start []byte, limit int) (keys, values [][]byte, err error) {
 	return t.e.scan(p, table, start, limit)
+}
+
+// ScanFunc streams committed rows >= start in order, up to limit,
+// without materializing result slices. Key and value are valid only
+// during the fn call (they alias engine-internal storage); fn returning
+// false stops the scan. Deleted-but-indexed rows pass a nil value.
+func (t *Txn) ScanFunc(p *sim.Proc, table string, start []byte, limit int, fn func(key, value []byte) bool) error {
+	return t.e.scanVisit(p, table, start, limit, fn)
 }
 
 // beginCommit enters the shared commit section (blocked while a
@@ -375,40 +412,60 @@ func (e *Engine) get(p *sim.Proc, table string, key []byte) ([]byte, bool, error
 }
 
 func (e *Engine) scan(p *sim.Proc, table string, start []byte, limit int) (keys, values [][]byte, err error) {
+	err = e.scanVisit(p, table, start, limit, func(k, v []byte) bool {
+		keys = append(keys, k)
+		values = append(values, v)
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return keys, values, nil
+}
+
+// scanVisit streams rows to fn without materializing result slices.
+// Keys alias the index's private copies (the B-tree copies on Put and
+// never mutates a stored key) and values alias heap page frames; both
+// are valid only during the fn call. fn returning false stops the scan.
+func (e *Engine) scanVisit(p *sim.Proc, table string, start []byte, limit int, fn func(key, value []byte) bool) error {
 	p.Sleep(e.cfg.ReadCPU)
 	e.stats.Reads++
 	tab, err := e.table(table)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	var rids []rid
+	buf := e.getScanBuf()
+	defer e.putScanBuf(buf)
 	tab.idx.Ascend(start, func(key []byte, r rid) bool {
-		keys = append(keys, append([]byte(nil), key...))
-		rids = append(rids, r)
-		return limit <= 0 || len(keys) < limit
+		buf.keys = append(buf.keys, key)
+		buf.rids = append(buf.rids, r)
+		return limit <= 0 || len(buf.keys) < limit
 	})
-	for i, r := range rids {
+	for i, r := range buf.rids {
 		// A concurrent upsert can retire the RID mid-scan; re-resolve
 		// through the index until a live version (or deletion) shows.
 		tuple, err := tab.heap.read(p, r)
 		for try := 0; errors.Is(err, errDeadTuple) && try < 8; try++ {
-			nr, ok := tab.idx.Get(keys[i])
+			nr, ok := tab.idx.Get(buf.keys[i])
 			if !ok {
 				break
 			}
 			tuple, err = tab.heap.read(p, nr)
 		}
-		if errors.Is(err, errDeadTuple) || tuple == nil {
-			values = append(values, nil)
-			continue
+		var v []byte
+		switch {
+		case errors.Is(err, errDeadTuple) || tuple == nil:
+			v = nil
+		case err != nil:
+			return err
+		default:
+			_, v = decodeTuple(tuple)
 		}
-		if err != nil {
-			return nil, nil, err
+		if !fn(buf.keys[i], v) {
+			break
 		}
-		_, v := decodeTuple(tuple)
-		values = append(values, v)
 	}
-	return keys, values, nil
+	return nil
 }
 
 // Checkpoint flushes all dirty heap pages and truncates the XLOG. It

@@ -207,7 +207,10 @@ func (h *heapStore) insert(p *sim.Proc, tuple []byte) (rid, error) {
 	return rid{}, errHeapFull
 }
 
-// read fetches a tuple by RID.
+// read fetches a tuple by RID. The returned bytes alias the page frame:
+// tuples are never overwritten in place (updates insert a new version
+// and kill the old slot, and the slot directory lives at the page tail),
+// so the bytes stay stable, but callers must not modify them.
 func (h *heapStore) read(p *sim.Proc, r rid) ([]byte, error) {
 	hp, err := h.pool.fetch(p, r.page)
 	if err != nil {
@@ -217,7 +220,7 @@ func (h *heapStore) read(p *sim.Proc, r rid) ([]byte, error) {
 	if t == nil {
 		return nil, fmt.Errorf("%w at %v", errDeadTuple, r)
 	}
-	return append([]byte(nil), t...), nil
+	return t, nil
 }
 
 // kill marks a tuple dead.

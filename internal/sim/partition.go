@@ -1,0 +1,385 @@
+// Partitioned execution: several environments advancing in bounded-skew
+// lockstep on multiple OS threads, with results byte-identical to a
+// serial run.
+//
+// A Group owns N member environments ("partitions"). Each partition
+// keeps its own clock, event heap and ready ring — the single-threaded
+// kernel in sim.go, unchanged — and the Group advances all of them
+// window by window:
+//
+//	W       = min over partitions of their next pending event time
+//	horizon = W + lookahead, where lookahead = min link latency
+//
+// Within a window every partition dispatches only events strictly
+// before the horizon, so partitions can run concurrently without locks:
+// they share no simulation state, and anything one partition sends to
+// another through a Link arrives at send-time + link latency, which is
+// at or past the horizon. Messages queued during a window are therefore
+// injected at the barrier between windows — when no process is running
+// anywhere — without ever reordering an event the receiver could
+// already have executed. That conservative-lookahead argument is the
+// whole determinism story: event order inside each partition is the
+// ordinary (at, seq) order, barrier injection follows fixed link-id
+// order, so the merged run is byte-identical no matter how many worker
+// threads execute the windows (SetWorkers(1) and SetWorkers(8) produce
+// the same simulation).
+//
+// Lookahead must be positive — a zero-latency cross-partition
+// interaction would force a zero-width window and no parallelism is
+// possible; model such coupling inside one partition instead.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group is a set of environments run in lockstep. Create members with
+// NewEnv, connect them with NewLink, then call Run once all processes
+// are started (Run on a member environment panics).
+type Group struct {
+	parts   []*Env
+	names   []string
+	links   []*linkCore
+	workers int
+	running bool
+}
+
+// NewGroup returns an empty partition group.
+func NewGroup() *Group { return &Group{workers: 1} }
+
+// SetWorkers sets how many OS goroutines execute windows (default 1).
+// The worker count changes wall-clock speed only, never results.
+func (g *Group) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.workers = n
+}
+
+// NewEnv adds a named partition and returns its environment.
+func (g *Group) NewEnv(name string) *Env {
+	if g.running {
+		panic("sim: NewEnv during Group.Run")
+	}
+	e := NewEnv()
+	e.grp = g
+	e.pid = len(g.parts)
+	g.parts = append(g.parts, e)
+	g.names = append(g.names, name)
+	return e
+}
+
+// Parts reports the number of member environments.
+func (g *Group) Parts() int { return len(g.parts) }
+
+// Events reports the total events executed across all partitions.
+func (g *Group) Events() uint64 {
+	var n uint64
+	for _, e := range g.parts {
+		n += e.Events()
+	}
+	return n
+}
+
+// linkCore is the untyped view of a Link the Group's window loop
+// manipulates: flushing the sender-side queue at barriers and waking a
+// parked pump at the earliest new arrival.
+type linkCore struct {
+	id      int
+	name    string
+	from    *Env
+	to      *Env
+	latency Duration
+	pump    *Proc
+	parked  bool
+	flush   func() (first Time, any bool)
+}
+
+// timed is a payload annotated with its arrival time.
+type timed[T any] struct {
+	at      Time
+	v       T
+	closeMk bool
+}
+
+// Link is a typed, unbounded, FIFO message channel from one partition
+// to another with a fixed positive latency. Send never blocks; Recv
+// parks until a message arrives (in the receiver's virtual time) or the
+// link is closed and drained. Payloads travel in typed slices — no
+// interface{} boxing, and steady-state messaging does not allocate once
+// the queues have grown to their working size.
+type Link[T any] struct {
+	core      *linkCore
+	avail     *Signal
+	pumpLabel string
+
+	// Sender side: messages queued during the current window.
+	outq       []timed[T]
+	sendClosed bool
+
+	// Receiver side: in-flight messages (injected at barriers, ordered
+	// by arrival because the sender's clock is monotone), the delivered
+	// inbox, and the close mark.
+	pending  []timed[T]
+	pendHead int
+	inbox    []T
+	inbHead  int
+	closed   bool
+}
+
+// NewLink connects two partitions of g with the given one-way latency
+// (> 0; the minimum latency over all links is the group's lookahead).
+func NewLink[T any](g *Group, from, to *Env, name string, latency Duration) *Link[T] {
+	if g.running {
+		panic("sim: NewLink during Group.Run")
+	}
+	if from.grp != g || to.grp != g {
+		panic("sim: link " + name + " endpoints must be partitions of the group")
+	}
+	if from == to {
+		panic("sim: link " + name + " connects a partition to itself")
+	}
+	if latency <= 0 {
+		panic("sim: link " + name + " latency must be positive (it bounds the lockstep window)")
+	}
+	l := &Link[T]{
+		avail:     to.NewSignal("link " + name + ".avail"),
+		pumpLabel: "link " + name + ".pump",
+	}
+	c := &linkCore{id: len(g.links), name: name, from: from, to: to, latency: latency}
+	c.flush = l.flushOut
+	l.core = c
+	g.links = append(g.links, c)
+	c.pump = to.GoDaemon("link."+name+".pump", l.pumpLoop)
+	return l
+}
+
+// Send queues v for delivery at the sender's current time plus the link
+// latency. It never blocks and must be called from the source partition.
+func (l *Link[T]) Send(p *Proc, v T) {
+	c := l.core
+	if p.env != c.from {
+		panic("sim: Send on link " + c.name + " from the wrong partition")
+	}
+	if l.sendClosed {
+		panic("sim: Send on closed link " + c.name)
+	}
+	l.outq = append(l.outq, timed[T]{at: c.from.now + Time(c.latency), v: v})
+}
+
+// Close marks the end of the stream. The close travels like a message:
+// the receiver sees ok=false only after draining everything sent before
+// it, one latency later.
+func (l *Link[T]) Close(p *Proc) {
+	c := l.core
+	if p.env != c.from {
+		panic("sim: Close on link " + c.name + " from the wrong partition")
+	}
+	if l.sendClosed {
+		panic("sim: Close on closed link " + c.name)
+	}
+	l.sendClosed = true
+	l.outq = append(l.outq, timed[T]{at: c.from.now + Time(c.latency), closeMk: true})
+}
+
+// Recv returns the next delivered message, parking until one arrives.
+// ok is false once the link is closed and drained. Must be called from
+// the destination partition.
+func (l *Link[T]) Recv(p *Proc) (v T, ok bool) {
+	c := l.core
+	if p.env != c.to {
+		panic("sim: Recv on link " + c.name + " from the wrong partition")
+	}
+	var zero T
+	for l.inbHead == len(l.inbox) {
+		if l.closed {
+			return zero, false
+		}
+		l.avail.Wait(p)
+	}
+	v = l.inbox[l.inbHead]
+	l.inbox[l.inbHead] = zero
+	l.inbHead++
+	if l.inbHead == len(l.inbox) {
+		l.inbox = l.inbox[:0]
+		l.inbHead = 0
+	}
+	return v, true
+}
+
+// Len reports the number of delivered-but-unread messages.
+func (l *Link[T]) Len() int { return len(l.inbox) - l.inbHead }
+
+// flushOut moves the window's sends to the receiver side. Runs only at
+// barriers, when neither endpoint has a process executing.
+func (l *Link[T]) flushOut() (Time, bool) {
+	if len(l.outq) == 0 {
+		return 0, false
+	}
+	first := l.outq[0].at
+	l.pending = append(l.pending, l.outq...)
+	var zero timed[T]
+	for i := range l.outq {
+		l.outq[i] = zero
+	}
+	l.outq = l.outq[:0]
+	return first, true
+}
+
+// pumpLoop is the receiver-side daemon that turns in-flight messages
+// into inbox entries at their arrival times. It parks when nothing is
+// in flight; the barrier reschedules it at the earliest new arrival.
+func (l *Link[T]) pumpLoop(p *Proc) {
+	e := l.core.to
+	var zero timed[T]
+	for {
+		for l.pendHead == len(l.pending) {
+			l.core.parked = true
+			p.block(l.pumpLabel)
+		}
+		if next := l.pending[l.pendHead].at; next > e.now {
+			p.Sleep(Duration(next - e.now))
+			continue
+		}
+		for l.pendHead < len(l.pending) && l.pending[l.pendHead].at <= e.now {
+			m := l.pending[l.pendHead]
+			l.pending[l.pendHead] = zero
+			l.pendHead++
+			if m.closeMk {
+				l.closed = true
+			} else {
+				l.inbox = append(l.inbox, m.v)
+			}
+		}
+		if l.pendHead == len(l.pending) {
+			l.pending = l.pending[:0]
+			l.pendHead = 0
+		}
+		l.avail.Fire()
+		if l.closed {
+			return
+		}
+	}
+}
+
+// Run executes all partitions to completion in lockstep windows, then
+// performs the usual end-of-run duties (deadlock diagnosis, run-end
+// hooks) per partition in order. Process faults and deadlock panics
+// surface exactly as in Env.Run, prefixed with the partition name, and
+// identically at any worker count.
+func (g *Group) Run() {
+	if g.running {
+		panic("sim: Group.Run called re-entrantly")
+	}
+	if len(g.parts) == 0 {
+		return
+	}
+	g.running = true
+	defer func() { g.running = false }()
+
+	lookahead := Duration(0)
+	for i, c := range g.links {
+		if i == 0 || c.latency < lookahead {
+			lookahead = c.latency
+		}
+	}
+
+	nw := g.workers
+	if nw > len(g.parts) {
+		nw = len(g.parts)
+	}
+	faults := make([]interface{}, len(g.parts))
+	var starts []chan Time
+	var wg sync.WaitGroup
+	if nw > 1 {
+		// Persistent workers with static partition assignment: worker k
+		// owns partitions k, k+nw, k+2nw, … so each environment is only
+		// ever touched by one goroutine (plus this one, at barriers —
+		// ordered by the start/wg channel handshakes).
+		starts = make([]chan Time, nw)
+		for k := 0; k < nw; k++ {
+			starts[k] = make(chan Time)
+			go func(k int) {
+				for horizon := range starts[k] {
+					for i := k; i < len(g.parts); i += nw {
+						runPart(g.parts[i], horizon, &faults[i])
+					}
+					wg.Done()
+				}
+			}(k)
+		}
+		defer func() {
+			for _, ch := range starts {
+				close(ch)
+			}
+		}()
+	}
+
+	for {
+		w := maxTime
+		for _, e := range g.parts {
+			if t := e.peekNext(); t < w {
+				w = t
+			}
+		}
+		if w == maxTime {
+			break
+		}
+		horizon := maxTime
+		if len(g.links) > 0 {
+			horizon = w + Time(lookahead)
+			if horizon <= w { // overflow
+				horizon = maxTime
+			}
+		}
+		if nw > 1 {
+			wg.Add(nw)
+			for _, ch := range starts {
+				ch <- horizon
+			}
+			wg.Wait()
+		} else {
+			for i, e := range g.parts {
+				runPart(e, horizon, &faults[i])
+			}
+		}
+		for i, f := range faults {
+			if f != nil {
+				panic(fmt.Sprintf("sim: partition %d (%s): %v", i, g.names[i], f))
+			}
+		}
+		for _, c := range g.links {
+			first, any := c.flush()
+			if any && c.parked {
+				c.parked = false
+				c.to.schedule(c.pump, first)
+			}
+		}
+	}
+	for _, e := range g.parts {
+		e.finishRun()
+	}
+}
+
+// runPart advances one partition through a window, capturing a fault so
+// sibling partitions still finish the window before the group re-panics
+// (deterministically, lowest partition first).
+func runPart(e *Env, horizon Time, fault *interface{}) {
+	defer func() {
+		if r := recover(); r != nil {
+			*fault = r
+		}
+	}()
+	e.runPhase(horizon)
+}
+
+// Shutdown tears down every partition (see Env.Shutdown).
+func (g *Group) Shutdown() {
+	if g.running {
+		panic("sim: Shutdown during Group.Run")
+	}
+	for _, e := range g.parts {
+		e.Shutdown()
+	}
+}

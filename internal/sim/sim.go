@@ -78,6 +78,9 @@ func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 // Micros reports the duration as floating-point microseconds.
 func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
 
+// maxTime is the horizon of a standalone Run: no event is ever beyond it.
+const maxTime = Time(1<<63 - 1)
+
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among simultaneous events
@@ -121,8 +124,23 @@ type Env struct {
 
 	nlive      int
 	running    bool
+	dead       bool // Shutdown ran; the environment is unusable
 	nevents    uint64
 	attachment interface{}
+
+	// free holds exited processes whose goroutines are parked for
+	// reuse: spawning is allocation-free in steady state because a
+	// recycled Proc brings its resume channel and goroutine stack along.
+	free []*Proc
+
+	// horizon bounds event dispatch: next refuses events at or past it.
+	// Standalone Run uses maxTime; the partitioned executor advances a
+	// member environment window by window (see partition.go).
+	horizon Time
+
+	// Partition membership (nil/-1 for a standalone environment).
+	grp *Group
+	pid int
 
 	// Clock-tick hook: when set, tickFn runs from the event loop the
 	// first time the clock reaches or passes tickAt (before the event's
@@ -152,7 +170,7 @@ func (e *Env) Attachment() interface{} { return e.attachment }
 
 // NewEnv returns an environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{runq: make(chan struct{}, 1)}
+	return &Env{runq: make(chan struct{}, 1), horizon: maxTime, pid: -1}
 }
 
 // SetTick installs (or replaces) the clock-tick hook: fn runs inside
@@ -189,10 +207,23 @@ type Proc struct {
 	resume chan struct{}
 	daemon bool
 
+	// body is the function the next resume starts (pooled goroutines
+	// run one body after another); killed marks a process Shutdown is
+	// unwinding. ibody/idx are the indexed variant (GoIdx): fan-out
+	// loops share one closure instead of allocating one per spawn.
+	body   func(*Proc)
+	ibody  func(*Proc, int)
+	idx    int
+	killed bool
+
 	// Deadlock-diagnosis state while parked on a Resource or Signal.
 	blockedOn string
 	blockIdx  int
 }
+
+// killedSentinel is the panic value park throws when Shutdown unwinds a
+// parked process; cycle recognizes it and retires the goroutine.
+type killedSentinel struct{}
 
 // Env returns the environment this process belongs to.
 func (p *Proc) Env() *Env { return p.env }
@@ -217,43 +248,106 @@ func (e *Env) GoDaemon(name string, body func(p *Proc)) *Proc {
 	return p
 }
 
-// GoAt is like Go but delays the process start until t.
+// GoAt is like Go but delays the process start until t. Exited
+// processes are recycled: a spawn normally reuses a pooled goroutine,
+// its Proc and its resume channel, so steady-state spawning does not
+// allocate.
 func (e *Env) GoAt(t Time, name string, body func(p *Proc)) *Proc {
+	if e.dead {
+		panic("sim: Go on a shut-down environment")
+	}
 	if t < e.now {
 		t = e.now
 	}
-	p := &Proc{env: e, name: name, resume: make(chan struct{}, 1)}
+	var p *Proc
+	if n := len(e.free); n > 0 {
+		p = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		p.name, p.daemon, p.body = name, false, body
+	} else {
+		p = &Proc{env: e, name: name, resume: make(chan struct{}, 1), body: body}
+		go p.main()
+	}
 	e.nlive++
-	go p.main(body)
 	e.schedule(p, t)
 	return p
 }
 
-// main is the goroutine body of every process: wait for the first
-// resume, run, then hand control onward (or surface a fault).
-func (p *Proc) main(body func(*Proc)) {
-	<-p.resume
-	defer p.exit()
-	body(p)
+// GoIdx starts a process at the current instant whose body receives
+// idx. Fan-out loops (one worker per page of a large command) spawn N
+// workers from one shared closure — no per-spawn closure allocation.
+func (e *Env) GoIdx(name string, idx int, body func(p *Proc, idx int)) *Proc {
+	if e.dead {
+		panic("sim: Go on a shut-down environment")
+	}
+	var p *Proc
+	if n := len(e.free); n > 0 {
+		p = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		p.name, p.daemon, p.ibody, p.idx = name, false, body, idx
+	} else {
+		p = &Proc{env: e, name: name, resume: make(chan struct{}, 1), ibody: body, idx: idx}
+		go p.main()
+	}
+	e.nlive++
+	e.schedule(p, e.now)
+	return p
 }
 
-// exit leaves the simulation: on a clean return it dispatches the next
-// event; on a panic it records the fault and wakes Run, which re-panics
-// on the caller's goroutine.
-func (p *Proc) exit() {
+// main is the goroutine body of every process: run bodies until the
+// process faults or Shutdown retires it.
+func (p *Proc) main() {
+	for p.cycle() {
+	}
+}
+
+// cycle waits for the resume that starts one body and runs it to
+// completion. On a clean return the Proc parks itself in the free pool
+// and dispatches the next event; on a panic it records the fault and
+// wakes Run, which re-panics on the caller's goroutine. It reports
+// whether the goroutine should stay alive for another body.
+func (p *Proc) cycle() (again bool) {
+	<-p.resume
 	e := p.env
-	e.nlive--
-	if r := recover(); r != nil {
-		e.fault = r
-		e.faultProc = p
+	if p.killed {
 		e.runq <- struct{}{}
-		return
+		return false
 	}
-	if np, ok := e.next(); ok {
-		np.resume <- struct{}{}
+	body, ibody, idx := p.body, p.ibody, p.idx
+	p.body, p.ibody = nil, nil
+	defer func() {
+		r := recover()
+		if _, k := r.(killedSentinel); k {
+			// Shutdown unwound this process while it was parked; hand
+			// control back to Shutdown and retire the goroutine.
+			e.runq <- struct{}{}
+			return
+		}
+		e.nlive--
+		if r != nil {
+			e.fault = r
+			e.faultProc = p
+			e.runq <- struct{}{}
+			return
+		}
+		// Clean exit: recycle before dispatching, so a successor body
+		// spawned by the next event can already reuse this goroutine.
+		e.free = append(e.free, p)
+		again = true
+		if np, ok := e.next(); ok {
+			np.resume <- struct{}{}
+		} else {
+			e.runq <- struct{}{}
+		}
+	}()
+	if ibody != nil {
+		ibody(p, idx)
 	} else {
-		e.runq <- struct{}{}
+		body(p)
 	}
+	return
 }
 
 func (e *Env) schedule(p *Proc, at Time) {
@@ -271,6 +365,9 @@ func (e *Env) schedule(p *Proc, at Time) {
 // current instant; a heap event at the current instant predates every
 // ring event (it was scheduled before the clock got here), so it wins
 // the tie.
+// Events at or past the horizon stay queued: a partition member only
+// dispatches within its current lockstep window (ring events are always
+// at the current instant, which is below the horizon by construction).
 func (e *Env) next() (*Proc, bool) {
 	hasRing := e.ringHead < len(e.ring)
 	var ev event
@@ -285,7 +382,7 @@ func (e *Env) next() (*Proc, bool) {
 			e.ring = e.ring[:0]
 			e.ringHead = 0
 		}
-	case len(e.heap) > 0:
+	case len(e.heap) > 0 && e.heap[0].at < e.horizon:
 		ev = e.heapPop()
 	default:
 		return nil, false
@@ -361,10 +458,25 @@ func (e *Env) heapPop() event {
 // if live processes remain blocked with no pending events — a deadlock
 // in the modeled system.
 func (e *Env) Run() {
+	if e.grp != nil {
+		panic("sim: Run on a partition member; use Group.Run")
+	}
+	e.runPhase(maxTime)
+	e.finishRun()
+}
+
+// runPhase executes events strictly before horizon and returns when
+// none remain (processes may still hold later events or be blocked).
+// It re-panics a process fault on the caller's goroutine.
+func (e *Env) runPhase(horizon Time) {
 	if e.running {
 		panic("sim: Run called re-entrantly")
 	}
+	if e.dead {
+		panic("sim: Run on a shut-down environment")
+	}
 	e.running = true
+	e.horizon = horizon
 	defer func() { e.running = false }()
 	if np, ok := e.next(); ok {
 		np.resume <- struct{}{}
@@ -375,23 +487,101 @@ func (e *Env) Run() {
 			panic(fmt.Sprintf("sim: process %q faulted: %v", fp.name, f))
 		}
 	}
+}
+
+// finishRun performs Run's end-of-simulation duties once no events
+// remain anywhere: deadlock diagnosis, then the run-end hooks.
+func (e *Env) finishRun() {
 	if e.nlive > 0 {
-		names := make([]string, 0, len(e.blocked))
 		stuck := false
 		for _, p := range e.blocked {
 			if !p.daemon {
 				stuck = true
+				break
 			}
-			names = append(names, p.name+" ("+p.blockedOn+")")
 		}
 		if stuck {
+			names := make([]string, 0, len(e.blocked))
+			for _, p := range e.blocked {
+				names = append(names, p.name+" ("+p.blockedOn+")")
+			}
 			sort.Strings(names)
-			panic("sim: deadlock, blocked processes: " + strings.Join(names, ", "))
+			where := ""
+			if e.grp != nil {
+				where = fmt.Sprintf(" in partition %d", e.pid)
+			}
+			panic("sim: deadlock" + where + ", blocked processes: " + strings.Join(names, ", "))
 		}
 	}
 	for _, fn := range e.runEnd {
 		fn()
 	}
+}
+
+// peekNext reports the time of the earliest pending event, or maxTime
+// when the queue is empty. The partitioned executor uses it to pick the
+// next lockstep window.
+func (e *Env) peekNext() Time {
+	t := maxTime
+	if e.ringHead < len(e.ring) {
+		t = e.now
+	}
+	if len(e.heap) > 0 && e.heap[0].at < t {
+		t = e.heap[0].at
+	}
+	return t
+}
+
+// Shutdown tears the environment down: every process — parked, pooled,
+// or still holding a pending event — is unwound (parked bodies see a
+// killedSentinel panic through park; deferred cleanup runs) and its
+// goroutine retired, then the backing arrays are released. A spiky
+// experiment thus stops pinning peak memory once its results are read.
+// The environment is unusable afterwards; Shutdown is idempotent.
+func (e *Env) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown from inside Run")
+	}
+	if e.dead {
+		return
+	}
+	e.dead = true
+	e.tickFn = nil
+	e.runEnd = nil
+	// Unwinding a process runs its defers, which may Release resources
+	// or Fire signals and thereby schedule events or grow e.blocked —
+	// both are re-scanned until everything is down.
+	kill := func(p *Proc) {
+		if p == nil || p.killed {
+			return
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.runq
+	}
+	for len(e.blocked) > 0 || e.ringHead < len(e.ring) || len(e.heap) > 0 {
+		for i := 0; i < len(e.blocked); i++ {
+			kill(e.blocked[i])
+		}
+		e.blocked = e.blocked[:0]
+		for e.ringHead < len(e.ring) {
+			p := e.ring[e.ringHead].proc
+			e.ringHead++
+			kill(p)
+		}
+		e.ring, e.ringHead = nil, 0
+		for len(e.heap) > 0 {
+			kill(e.heapPop().proc)
+		}
+	}
+	for _, p := range e.free {
+		kill(p)
+	}
+	e.free = nil
+	e.heap = nil
+	e.ring = nil
+	e.blocked = nil
+	e.nlive = 0
 }
 
 // park yields control to the scheduler and blocks until resumed. The
@@ -400,6 +590,10 @@ func (e *Env) Run() {
 // process (direct handoff), or the queue is empty (wake Run).
 func (p *Proc) park() {
 	e := p.env
+	if p.killed {
+		// Shutdown resumed us to unwind; do not dispatch further events.
+		panic(killedSentinel{})
+	}
 	if np, ok := e.next(); ok {
 		if np == p {
 			return
@@ -409,6 +603,9 @@ func (p *Proc) park() {
 		e.runq <- struct{}{}
 	}
 	<-p.resume
+	if p.killed {
+		panic(killedSentinel{})
+	}
 }
 
 // Sleep advances this process by d virtual nanoseconds. Negative
@@ -471,6 +668,21 @@ func (e *Env) NewResource(name string, capacity int) *Resource {
 		panic("sim: resource capacity must be >= 1")
 	}
 	return &Resource{env: e, name: name, label: "resource " + name, cap: capacity}
+}
+
+// NewResources creates len(names) resources of equal capacity in one
+// backing allocation — construction relief for per-die lock arrays,
+// which otherwise dominate the alloc profile of short-lived
+// environments. Elements must not be copied once in use.
+func (e *Env) NewResources(names []string, capacity int) []Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	rs := make([]Resource, len(names))
+	for i, nm := range names {
+		rs[i] = Resource{env: e, name: nm, label: "resource " + nm, cap: capacity}
+	}
+	return rs
 }
 
 // Acquire obtains one unit, waiting FIFO if none is free.

@@ -173,6 +173,11 @@ type Log struct {
 	// BA-mode state.
 	halves []*half
 
+	// recPool recycles Append's record-encoding buffers. A freelist
+	// rather than a single scratch because l.mu is released before the
+	// staged copy/MMIO write, so concurrent appenders each hold one.
+	recPool [][]byte
+
 	// Metrics ("wal.*" in the obs registry; Stats() reads them back —
 	// CommitTime is the commit-latency histogram's exact sum).
 	o                  *obs.Set
@@ -276,6 +281,22 @@ func (l *Log) AppendOff() int64 { return l.appendOff }
 // DurableOff returns the offset below which all records are durable.
 func (l *Log) DurableOff() int64 { return l.durableOff }
 
+// getRec returns an n-byte record buffer, reusing a retired one when it
+// is large enough.
+func (l *Log) getRec(n int) []byte {
+	if k := len(l.recPool); k > 0 {
+		r := l.recPool[k-1]
+		l.recPool[k-1] = nil
+		l.recPool = l.recPool[:k-1]
+		if cap(r) >= n {
+			return r[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (l *Log) putRec(r []byte) { l.recPool = append(l.recPool, r) }
+
 func encodeHeader(dst []byte, payload []byte, pos int64) {
 	binary.LittleEndian.PutUint32(dst[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(dst[4:], crc32.ChecksumIEEE(payload))
@@ -321,18 +342,20 @@ func (l *Log) Append(p *sim.Proc, payload []byte) (LSN, error) {
 	}
 	l.mu.Release()
 
-	rec := make([]byte, need)
+	rec := l.getRec(need)
 	encodeHeader(rec, payload, pos)
 	copy(rec[headerBytes:], payload)
 
 	if l.cfg.Mode == BA || l.cfg.Mode == PMR {
 		off := h.bufOff + int(pos%int64(l.cfg.SegmentBytes))
 		if err := l.cfg.SSD.Mmio().Write(p, off, rec); err != nil {
+			l.putRec(rec)
 			return 0, err
 		}
 	} else {
 		copy(l.stage[pos:], rec)
 	}
+	l.putRec(rec) // MMIO/stage copied the bytes; the buffer is free again
 	l.cAppends.Inc()
 	l.cBytes.Add(uint64(need))
 	return LSN(pos + int64(need)), nil

@@ -120,6 +120,7 @@ type Generator struct {
 	zipf *Zipfian
 	rng  *rand.Rand
 	val  []byte
+	key  [20]byte // "user" + 16 hex digits, reused across calls
 }
 
 // NewGenerator builds a generator from cfg.
@@ -143,14 +144,21 @@ func NewGenerator(cfg Config) *Generator {
 }
 
 // Key formats the ith record key (FNV-scrambled like YCSB so zipfian
-// popularity is spread over the keyspace).
+// popularity is spread over the keyspace). The returned slice reuses a
+// buffer owned by the generator: it is valid only until the next Key or
+// Next call, and stores that retain keys must copy (they all do).
 func (g *Generator) Key(i int64) []byte {
 	h := uint64(14695981039346656037)
 	for b := 0; b < 8; b++ {
 		h ^= uint64(i >> (8 * b) & 0xFF)
 		h *= 1099511628211
 	}
-	return []byte(fmt.Sprintf("user%016x", h))
+	const hex = "0123456789abcdef"
+	copy(g.key[:4], "user")
+	for j := 0; j < 16; j++ {
+		g.key[4+j] = hex[(h>>uint(60-4*j))&0xF]
+	}
+	return g.key[:]
 }
 
 // Next draws one operation.

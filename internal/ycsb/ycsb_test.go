@@ -73,11 +73,13 @@ func TestPayloadSize(t *testing.T) {
 
 func TestKeysScrambledAndStable(t *testing.T) {
 	g := NewGenerator(WorkloadA(100, 64, 1))
-	k1, k2 := g.Key(1), g.Key(2)
-	if string(k1) == string(k2) {
+	// Key reuses an internal buffer, so snapshot before the next call.
+	k1 := string(g.Key(1))
+	k2 := string(g.Key(2))
+	if k1 == k2 {
 		t.Fatal("key collision")
 	}
-	if string(g.Key(1)) != string(k1) {
+	if string(g.Key(1)) != k1 {
 		t.Fatal("keys not stable")
 	}
 }
