@@ -9,7 +9,7 @@
 // mixed recovery tail smallread pmr journal qd pfleet probe ablations
 // all (default: all).
 //
-// Four reliability artifacts run only when named explicitly (they are
+// Six reliability artifacts run only when named explicitly (they are
 // not part of "all"): "crash" sweeps 128 deterministic power-loss
 // points per workload across every storage engine (640 total) and
 // "crash-smoke" is the 64-point CI variant over lsm + pglite. Both
@@ -19,7 +19,12 @@
 // workloads (default 256) against the internal/oracle reference model
 // and "fuzz-smoke" is the 32-seed CI variant; both exit non-zero on
 // any stack/model divergence, after shrinking it to a minimal op
-// trace.
+// trace. "fleet" runs the multi-device scenario family (a 4-device,
+// 8-tenant fleet with BA-log replication under steady, bursty,
+// diurnal and saturating tenant traffic, plus an injected primary
+// power loss with follower takeover) and "fleet-smoke" is the
+// 2-device CI variant; both exit non-zero on any lost or phantom
+// record, missed failover, or worker-count determinism divergence.
 //
 // -j fans the independent simulation environments behind each
 // experiment data point — and the experiments themselves — out across N
@@ -156,6 +161,26 @@ func fuzzExperiments(failed *atomic.Bool, seeds int) []experiment {
 	}
 }
 
+// fleetExperiments returns the fleet-scale artifacts: "fleet" runs the
+// full multi-device scenario family (steady/bursty/diurnal/saturation
+// traffic plus an injected primary power loss on a 4-device, 8-tenant
+// fleet) and "fleet-smoke" is the CI variant (2 devices, 2 tenants,
+// one crash with follower takeover, plus a worker-count determinism
+// probe). Any lost or phantom record, missed failover, or determinism
+// divergence flips failed so main exits non-zero.
+func fleetExperiments(failed *atomic.Bool, scale bench.Scale) []experiment {
+	run := func(w io.Writer, smoke bool) {
+		if err := bench.RunFleet(w, scale, smoke); err != nil {
+			fmt.Fprintf(w, "FAIL: %v\n", err)
+			failed.Store(true)
+		}
+	}
+	return []experiment{
+		{"fleet", func(w io.Writer) { run(w, false) }},
+		{"fleet-smoke", func(w io.Writer) { run(w, true) }},
+	}
+}
+
 // expReport is one experiment's cost in the -benchjson report. Under
 // -j > 1 experiments overlap, so their wall times can sum past the
 // run's total — and the per-experiment event/alloc attribution
@@ -189,8 +214,13 @@ type kernelReport struct {
 
 // gate compares this run against a committed baseline report and
 // returns an error on a kernel performance regression: a >20% drop in
-// events/sec, or an allocs/event increase beyond measurement noise
-// (10% relative plus 0.02 absolute).
+// events/sec, an allocs/event increase beyond measurement noise (10%
+// relative plus 0.02 absolute), or a partition-probe speedup that
+// collapsed versus the baseline. The speedup comparison only makes
+// sense between like hosts: when the baseline was recorded on a
+// machine with a different CPU count it is skipped with a notice,
+// so a multi-core runner doesn't false-fail against a 1-CPU baseline
+// (or vice versa).
 func gate(cur kernelReport, basePath string) error {
 	data, err := os.ReadFile(basePath)
 	if err != nil {
@@ -199,6 +229,19 @@ func gate(cur kernelReport, basePath string) error {
 	var base kernelReport
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parsing %s: %w", basePath, err)
+	}
+	if base.Partition != nil && cur.Partition != nil && base.Partition.Speedup > 1 {
+		switch {
+		case base.NumCPU != runtime.NumCPU():
+			fmt.Printf("benchgate: skipping partition-speedup check: baseline recorded on %d CPUs, host has %d\n",
+				base.NumCPU, runtime.NumCPU())
+		case base.Partition.Shards != cur.Partition.Shards:
+			fmt.Printf("benchgate: skipping partition-speedup check: baseline ran %d shards, this run %d\n",
+				base.Partition.Shards, cur.Partition.Shards)
+		case cur.Partition.Speedup < 0.75*base.Partition.Speedup:
+			return fmt.Errorf("partition speedup regressed: %.2fx vs baseline %.2fx",
+				cur.Partition.Speedup, base.Partition.Speedup)
+		}
 	}
 	if base.EventsPerSec > 0 && cur.EventsPerSec < 0.8*base.EventsPerSec {
 		return fmt.Errorf("events/sec regressed: %.0f vs baseline %.0f (-%.1f%%)",
@@ -235,7 +278,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-pshards N] [-seeds N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [-benchgate base.json] [-obsbench o.json] [-sample D] [-timeline t.json] [-listen addr] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd pfleet probe ablations all\n")
-		fmt.Fprintf(os.Stderr, "reliability (not in \"all\"): crash crash-smoke fuzz fuzz-smoke\n")
+		fmt.Fprintf(os.Stderr, "reliability (not in \"all\"): crash crash-smoke fuzz fuzz-smoke fleet fleet-smoke\n")
 	}
 	flag.Parse()
 	scale, scaleName := bench.Quick, "quick"
@@ -335,6 +378,9 @@ func main() {
 		byID[ex.id] = ex
 	}
 	for _, ex := range fuzzExperiments(&gateFailed, *seeds) {
+		byID[ex.id] = ex
+	}
+	for _, ex := range fleetExperiments(&gateFailed, scale) {
 		byID[ex.id] = ex
 	}
 	var selected []experiment

@@ -1,0 +1,831 @@
+// Package fleet hosts N simulated 2B-SSD devices behind a shard
+// router and drives multi-tenant traffic across them — the
+// "millions of users" layer over the single-device reproduction.
+//
+// Topology: every device is one partition of a sim.Group, so a fleet
+// runs serially (one worker) or partitioned (N workers) with
+// byte-identical results — the conservative-lookahead guarantee of
+// sim.Group. A tenant's WAL and volume live on its primary device
+// (placed by the Router); every byte-path commit is shipped over a
+// latency-modeled sim.Link to a follower device, which redoes the
+// record into its own BA-mode log and acks. A tenant op counts as
+// committed only when the follower's ack arrives (synchronous
+// replication), which is what makes failover lossless: when the
+// primary's power is cut (an injected fault.Plan trigger), the client
+// reroutes to the follower, which first verifies its redo log from
+// NAND — every applied record recovered, nothing phantom — and then
+// serves as the new primary.
+//
+// Per-device QoS on the 8-entry BA mapping table is in qos.go; the
+// shard router in router.go; traffic shapes come from
+// internal/traffic.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+
+	"twobssd/internal/core"
+	"twobssd/internal/fault"
+	"twobssd/internal/histo"
+	"twobssd/internal/obs"
+	"twobssd/internal/sim"
+	"twobssd/internal/traffic"
+	"twobssd/internal/vfs"
+	"twobssd/internal/wal"
+)
+
+// CrashSpec injects a primary power loss: device Device trips at
+// virtual time At (a fault.Plan PowerLoss trigger installed on that
+// partition). Device < 0 selects the primary of tenant 0, which
+// guarantees the crash actually exercises a failover.
+type CrashSpec struct {
+	Device int
+	At     sim.Time
+}
+
+// Config describes a fleet run. Zero-valued knobs take defaults.
+type Config struct {
+	Devices int    // device count (>= 2: replication needs a distinct follower)
+	Policy  Policy // shard-router placement policy
+	Workers int    // sim.Group workers (0 = 1); results identical at any value
+
+	NetLatency sim.Duration // one-way link latency = group lookahead (0 = 5us)
+	ApplyCPU   sim.Duration // follower per-record redo CPU (0 = 2us)
+
+	Device       *core.Config // per-device config (nil = DefaultDeviceConfig)
+	QoS          QoSConfig
+	SegmentBytes int   // slot window bytes (0 = 4 pages)
+	LogBytes     int64 // per-tenant WAL/redo file capacity (0 = 512 KB)
+	VolumeBytes  int64 // per-tenant data-volume capacity (0 = 256 KB)
+
+	Tenants []traffic.Spec
+	Crash   *CrashSpec
+	Seed    uint64
+}
+
+func (c *Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+func (c *Config) netLatency() sim.Duration {
+	if c.NetLatency <= 0 {
+		return 5 * sim.Microsecond
+	}
+	return c.NetLatency
+}
+
+func (c *Config) applyCPU() sim.Duration {
+	if c.ApplyCPU <= 0 {
+		return 2 * sim.Microsecond
+	}
+	return c.ApplyCPU
+}
+
+func (c *Config) segmentBytes() int {
+	if c.SegmentBytes <= 0 {
+		return 4 * 4096
+	}
+	return c.SegmentBytes
+}
+
+func (c *Config) logBytes() int64 {
+	if c.LogBytes <= 0 {
+		return 512 << 10
+	}
+	return c.LogBytes
+}
+
+func (c *Config) volumeBytes() int64 {
+	if c.VolumeBytes <= 0 {
+		return 256 << 10
+	}
+	return c.VolumeBytes
+}
+
+// DefaultDeviceConfig scales the 2B-SSD down fleet-style (same
+// geometry the crash campaigns use): a 16 MB flash array with a 1 MB
+// BA-buffer whose capacitor dump still fits the stock energy budget,
+// so a multi-device fleet stays cheap to simulate.
+func DefaultDeviceConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Base.Nand.Channels = 2
+	cfg.Base.Nand.DiesPerChannel = 2
+	cfg.Base.Nand.BlocksPerDie = 32
+	cfg.Base.Nand.PagesPerBlock = 32
+	cfg.Base.FTL.OverProvision = 0.2
+	cfg.Base.WriteBufferPages = 64
+	cfg.Base.DrainWorkers = 4
+	cfg.BABufferBytes = 256 * 4096 // 1 MB
+	return cfg
+}
+
+// repMsg travels primary→follower: one committed (or, after failover,
+// rerouted) record. fail marks the failover notification the crashed
+// node emits. The payload is a string so partitions never share
+// mutable bytes.
+type repMsg struct {
+	seq     int
+	at      sim.Time // open-loop arrival instant
+	commit  sim.Time // primary commit time (local == true)
+	local   bool     // committed on the primary before shipping
+	fail    bool     // failover marker (tripAt set)
+	tripAt  sim.Time
+	payload string
+}
+
+// ackMsg travels follower→primary.
+type ackMsg struct{ seq int }
+
+// node is one device partition.
+type node struct {
+	idx   int
+	env   *sim.Env
+	ssd   *core.TwoBSSD
+	fs    *vfs.FS
+	slots *slotManager
+	inj   *fault.Injector
+
+	down      bool
+	downAt    sim.Time
+	primaries []*tenantRT // tenants whose primary this node is
+	errs      []string
+}
+
+// crash cuts the node's power exactly once and notifies the follower
+// of every tenant primaried here. Insufficient capacitor energy or a
+// torn dump are legitimate modeled outcomes, not harness errors.
+func (n *node) crash(p *sim.Proc) {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.downAt = n.env.Now()
+	if _, err := n.ssd.PowerLoss(p); err != nil &&
+		!errors.Is(err, core.ErrInsufficient) && !errors.Is(err, core.ErrDumpTorn) {
+		n.errs = append(n.errs, fmt.Sprintf("dev%d power loss: %v", n.idx, err))
+	}
+	for _, t := range n.primaries {
+		if !t.dataClosed {
+			t.data.Send(p, repMsg{fail: true, tripAt: n.downAt})
+		}
+	}
+}
+
+// tenantRT is one tenant's runtime state. Fields are strictly owned by
+// one partition: client-side fields (sched/acked/inflight/...) by the
+// primary's env, follower-side fields (applied/recovered/...) by the
+// follower's env. The host reads everything only after Group.Run.
+type tenantRT struct {
+	fr    *fleetRT
+	idx   int
+	spec  traffic.Spec
+	name  string
+	place Placement
+	pnode *node
+	fnode *node
+
+	sched []traffic.Op
+	h     *logHandle // tenant WAL on the primary
+	vol   *vfs.File  // data volume on the primary
+	redo  *logHandle // replicated log on the follower
+	data  *sim.Link[repMsg]
+	ack   *sim.Link[ackMsg]
+
+	// ---- client side (primary env) ----
+	wg         *sim.WaitGroup
+	doneSig    *sim.Signal
+	clientDone bool
+	dataClosed bool
+	ackClosed  bool // follower gone: local-only degraded mode
+	inflight   int
+	sent       []bool
+	acked      []bool
+	committed  []bool // committed on the primary's log
+	ackedN     int
+	reads      int
+	degraded   int
+	takeover   int
+	throttled  int
+	retries    int
+	dropped    int
+	lostP      int
+	phantomP   int
+	errsP      []string
+	readBuf    []byte
+	hLat       *histo.H
+	cCommits   *obs.Counter
+	cThrottled *obs.Counter
+	cRetries   *obs.Counter
+	cDropped   *obs.Counter
+
+	// ---- follower side (follower env) ----
+	applied      map[int]uint32 // seq → payload CRC applied to the redo log
+	appliedN     int
+	failedOver   bool
+	failTripAt   sim.Time
+	failVerifyAt sim.Time
+	lostFail     int
+	phantomFail  int
+	lostF        int
+	phantomF     int
+	errsF        []string
+	hLag         *histo.H
+}
+
+// fleetRT carries run-wide derived values.
+type fleetRT struct {
+	cfg    *Config
+	nodes  []*node
+	router *Router
+}
+
+func encodePayload(name string, seq int, key int64, size int) string {
+	head := fmt.Sprintf("%s|%06d|%08x|", name, seq, uint32(key))
+	if size <= len(head) {
+		return head
+	}
+	return head + strings.Repeat("x", size-len(head))
+}
+
+// payloadSeq recovers the sequence number stamped by encodePayload.
+func payloadSeq(payload []byte) (int, bool) {
+	s := string(payload)
+	i := strings.IndexByte(s, '|')
+	if i < 0 {
+		return 0, false
+	}
+	rest := s[i+1:]
+	j := strings.IndexByte(rest, '|')
+	if j < 0 {
+		return 0, false
+	}
+	seq, err := strconv.Atoi(rest[:j])
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+func newNode(g *sim.Group, fr *fleetRT, devCfg core.Config, d int) *node {
+	env := g.NewEnv(fmt.Sprintf("dev%d", d))
+	crash := fr.cfg.Crash
+	if crash != nil && crash.Device == d {
+		fault.Install(env, fault.Plan{
+			Seed:      fr.cfg.Seed ^ (uint64(d)+1)<<32,
+			PowerLoss: fault.Trigger{At: crash.At},
+		})
+	}
+	ssd := core.New(env, devCfg)
+	n := &node{
+		idx: d, env: env, ssd: ssd,
+		fs:  vfs.New(ssd.Device()),
+		inj: fault.Of(env),
+	}
+	n.slots = newSlotManager(env, fr.cfg.QoS, ssd.Config().MaxEntries, fr.cfg.segmentBytes())
+	if crash != nil && crash.Device == d {
+		// The power watcher is the trigger's "poll at op boundary"
+		// moment for the whole node: it cuts power at the trip instant.
+		env.GoAt(crash.At, "fleet.powercut", func(p *sim.Proc) { n.crash(p) })
+	}
+	return n
+}
+
+func newTenant(g *sim.Group, fr *fleetRT, idx int, spec traffic.Spec) (*tenantRT, error) {
+	cfg := fr.cfg
+	name := spec.Tenant
+	if name == "" {
+		name = fmt.Sprintf("t%d", idx)
+		spec.Tenant = name
+	}
+	place := fr.router.Place(idx, name, len(cfg.Tenants))
+	if place.Primary == place.Follower {
+		return nil, fmt.Errorf("fleet: tenant %s placed on a single device", name)
+	}
+	pn, fn := fr.nodes[place.Primary], fr.nodes[place.Follower]
+	walFile, err := pn.fs.Create("wal-"+name, cfg.logBytes())
+	if err != nil {
+		return nil, err
+	}
+	vol, err := pn.fs.Create("vol-"+name, cfg.volumeBytes())
+	if err != nil {
+		return nil, err
+	}
+	redoFile, err := fn.fs.Create("redo-"+name, cfg.logBytes())
+	if err != nil {
+		return nil, err
+	}
+	t := &tenantRT{
+		fr: fr, idx: idx, spec: spec, name: name, place: place,
+		pnode: pn, fnode: fn,
+		vol:   vol,
+		data:  sim.NewLink[repMsg](g, pn.env, fn.env, "data-"+name, cfg.netLatency()),
+		ack:   sim.NewLink[ackMsg](g, fn.env, pn.env, "ack-"+name, cfg.netLatency()),
+	}
+	if t.h, err = newLogHandle(pn.slots, pn.ssd, walFile, name); err != nil {
+		return nil, err
+	}
+	if t.redo, err = newLogHandle(fn.slots, fn.ssd, redoFile, name+".redo"); err != nil {
+		return nil, err
+	}
+	t.sched = spec.Gen().Schedule()
+	t.wg = pn.env.NewWaitGroup("fleet." + name + ".ops")
+	t.doneSig = pn.env.NewSignal("fleet." + name + ".done")
+	t.sent = make([]bool, len(t.sched))
+	t.acked = make([]bool, len(t.sched))
+	t.committed = make([]bool, len(t.sched))
+	t.readBuf = make([]byte, pn.ssd.PageSize())
+	t.applied = make(map[int]uint32, len(t.sched))
+	preg := obs.Of(pn.env).Registry()
+	t.hLat = preg.Histo(fmt.Sprintf("fleet.%s.latency_ns", name))
+	t.cCommits = preg.Counter(fmt.Sprintf("fleet.%s.commits", name))
+	t.cThrottled = preg.Counter(fmt.Sprintf("fleet.%s.throttled", name))
+	t.cRetries = preg.Counter(fmt.Sprintf("fleet.%s.retries", name))
+	t.cDropped = preg.Counter(fmt.Sprintf("fleet.%s.dropped", name))
+	t.hLag = obs.Of(fn.env).Registry().Histo(fmt.Sprintf("fleet.%s.rep_lag_ns", name))
+	pn.primaries = append(pn.primaries, t)
+	return t, nil
+}
+
+func (t *tenantRT) spawn() {
+	t.pnode.env.Go("fleet.client."+t.name, t.runClient)
+	t.pnode.env.Go("fleet.acks."+t.name, t.runAckWatch)
+	t.fnode.env.Go("fleet.redo."+t.name, t.runFollower)
+}
+
+// runClient is the open-loop dispatcher: it releases one op proc at
+// every scheduled arrival regardless of how far behind service is.
+func (t *tenantRT) runClient(p *sim.Proc) {
+	for i := range t.sched {
+		at := t.sched[i].At
+		if at > t.pnode.env.Now() {
+			p.Sleep(sim.Duration(at - t.pnode.env.Now()))
+		}
+		t.wg.Add(1)
+		t.pnode.env.GoIdx("fleet.op."+t.name, i, t.opBody)
+	}
+	t.wg.Wait(p)
+	t.dataClosed = true
+	t.data.Close(p)
+	t.clientDone = true
+	t.doneSig.Fire()
+}
+
+// opBody services one arrival: admission (with the tenant's retry
+// policy), then either a volume read, a primary commit + replication
+// ship, or — with the primary down — a rerouted takeover send.
+func (t *tenantRT) opBody(p *sim.Proc, i int) {
+	defer t.wg.Done()
+	op := t.sched[i]
+	env := t.pnode.env
+	for attempt := 0; t.inflight >= t.fr.cfg.QoS.maxInflight(); {
+		t.throttled++
+		t.cThrottled.Inc()
+		attempt++
+		if attempt > t.spec.MaxRetries {
+			t.dropped++
+			t.cDropped.Inc()
+			return
+		}
+		t.retries++
+		t.cRetries.Inc()
+		p.Sleep(t.spec.Backoff(i, attempt))
+	}
+	t.inflight++
+	if op.Read {
+		if t.pnode.down {
+			t.dropped++
+			t.cDropped.Inc()
+			t.inflight--
+			return
+		}
+		pageSize := int64(len(t.readBuf))
+		pages := t.vol.Capacity() / pageSize
+		off := (op.Key % pages) * pageSize
+		if err := t.vol.ReadAt(p, off, t.readBuf); err != nil {
+			if !errors.Is(err, core.ErrPowerIsOff) {
+				t.errsP = append(t.errsP, fmt.Sprintf("%s read: %v", t.name, err))
+			}
+			t.dropped++
+			t.cDropped.Inc()
+			t.inflight--
+			return
+		}
+		t.reads++
+		t.hLat.Observe(sim.Duration(env.Now() - op.At))
+		t.inflight--
+		return
+	}
+	payload := encodePayload(t.name, i, op.Key, t.spec.PayloadBytes)
+	if !t.pnode.down {
+		err := t.h.append(p, []byte(payload))
+		if err == nil {
+			t.committed[i] = true
+			t.cCommits.Inc()
+			if t.ackClosed {
+				// Follower is gone: the local commit is the whole story.
+				t.degraded++
+				t.hLat.Observe(sim.Duration(env.Now() - op.At))
+				t.inflight--
+				return
+			}
+			t.sent[i] = true
+			t.data.Send(p, repMsg{
+				seq: i, at: op.At, commit: env.Now(), local: true, payload: payload,
+			})
+			return
+		}
+		if !errors.Is(err, core.ErrPowerIsOff) && !t.pnode.down {
+			t.errsP = append(t.errsP, fmt.Sprintf("%s append: %v", t.name, err))
+			t.inflight--
+			return
+		}
+		t.pnode.crash(p) // power died under us: make the cut official
+	}
+	// Primary down: reroute to the follower (the new primary).
+	if t.ackClosed || t.dataClosed {
+		t.dropped++
+		t.cDropped.Inc()
+		t.inflight--
+		return
+	}
+	t.takeover++
+	t.sent[i] = true
+	t.data.Send(p, repMsg{seq: i, at: op.At, payload: payload})
+}
+
+// runAckWatch completes ops as follower acks arrive and, once traffic
+// has drained, runs the end-of-run media check on a live primary log.
+func (t *tenantRT) runAckWatch(p *sim.Proc) {
+	env := t.pnode.env
+	for {
+		a, ok := t.ack.Recv(p)
+		if !ok {
+			// Follower gone (or clean end): finish outstanding ops that
+			// did commit locally as degraded completions.
+			t.ackClosed = true
+			for i := range t.sched {
+				if t.sent[i] && !t.acked[i] && t.committed[i] {
+					t.degraded++
+					t.hLat.Observe(sim.Duration(env.Now() - t.sched[i].At))
+				}
+			}
+			t.inflight = 0
+			break
+		}
+		if !t.acked[a.seq] {
+			t.acked[a.seq] = true
+			t.ackedN++
+			if t.inflight > 0 {
+				t.inflight--
+			}
+			t.hLat.Observe(sim.Duration(env.Now() - t.sched[a.seq].At))
+		}
+	}
+	for !t.clientDone {
+		t.doneSig.Wait(p)
+	}
+	if t.pnode.down {
+		return
+	}
+	// End-of-run oracle check: everything committed on this primary
+	// must be recoverable from NAND, and nothing else may be.
+	rec := make(map[int]uint32, len(t.sched))
+	err := t.h.recover(p, func(_ wal.LSN, payload []byte) error {
+		seq, ok := payloadSeq(payload)
+		if !ok {
+			t.phantomP++
+			return nil
+		}
+		rec[seq] = crc32.ChecksumIEEE(payload)
+		return nil
+	})
+	if err != nil {
+		if !errors.Is(err, core.ErrPowerIsOff) {
+			t.errsP = append(t.errsP, fmt.Sprintf("%s end recover: %v", t.name, err))
+		}
+		return
+	}
+	for i := range t.sched {
+		if !t.committed[i] {
+			continue
+		}
+		want := crc32.ChecksumIEEE([]byte(encodePayload(t.name, i, t.sched[i].Key, t.spec.PayloadBytes)))
+		if got, ok := rec[i]; !ok || got != want {
+			t.lostP++
+		}
+	}
+	for seq := range rec {
+		if seq < 0 || seq >= len(t.sched) || !t.committed[seq] {
+			t.phantomP++
+		}
+	}
+	if rerr := t.h.release(p); rerr != nil && !errors.Is(rerr, core.ErrPowerIsOff) {
+		t.errsP = append(t.errsP, fmt.Sprintf("%s release: %v", t.name, rerr))
+	}
+}
+
+// runFollower applies replicated records into the redo log, acks, and
+// handles the failover protocol.
+func (t *tenantRT) runFollower(p *sim.Proc) {
+	env := t.fnode.env
+	for {
+		m, ok := t.data.Recv(p)
+		if !ok {
+			break
+		}
+		if t.fnode.down || t.fnode.inj.Tripped() {
+			t.fnode.crash(p)
+			t.ack.Close(p)
+			return
+		}
+		if m.fail {
+			t.verifyFailover(p, m.tripAt)
+			continue
+		}
+		p.Sleep(t.fr.cfg.applyCPU())
+		pay := []byte(m.payload)
+		if err := t.redo.append(p, pay); err != nil {
+			if errors.Is(err, core.ErrPowerIsOff) || t.fnode.down {
+				t.fnode.crash(p)
+			} else {
+				t.errsF = append(t.errsF, fmt.Sprintf("%s redo: %v", t.name, err))
+			}
+			t.ack.Close(p)
+			return
+		}
+		t.applied[m.seq] = crc32.ChecksumIEEE(pay)
+		t.appliedN++
+		if m.local {
+			t.hLag.Observe(sim.Duration(env.Now() - m.commit))
+		}
+		t.ack.Send(p, ackMsg{seq: m.seq})
+	}
+	// Traffic drained: verify the redo log end to end from media.
+	rec := make(map[int]uint32, t.appliedN)
+	err := t.redo.recover(p, func(_ wal.LSN, payload []byte) error {
+		seq, ok := payloadSeq(payload)
+		if !ok {
+			t.phantomF++
+			return nil
+		}
+		rec[seq] = crc32.ChecksumIEEE(payload)
+		return nil
+	})
+	if err != nil {
+		if !errors.Is(err, core.ErrPowerIsOff) {
+			t.errsF = append(t.errsF, fmt.Sprintf("%s redo recover: %v", t.name, err))
+		}
+		t.ack.Close(p)
+		return
+	}
+	for seq, want := range t.applied {
+		if got, ok := rec[seq]; !ok || got != want {
+			t.lostF++
+		}
+	}
+	for seq := range rec {
+		if _, ok := t.applied[seq]; !ok {
+			t.phantomF++
+		}
+	}
+	if rerr := t.redo.release(p); rerr != nil && !errors.Is(rerr, core.ErrPowerIsOff) {
+		t.errsF = append(t.errsF, fmt.Sprintf("%s redo release: %v", t.name, rerr))
+	}
+	t.ack.Close(p)
+}
+
+// verifyFailover is the takeover moment: before serving as the new
+// primary, the follower re-reads its redo log from NAND and proves it
+// holds exactly what was applied — no lost records, no phantoms. The
+// verify duration is the tenant's failover recovery time.
+func (t *tenantRT) verifyFailover(p *sim.Proc, tripAt sim.Time) {
+	pre := make(map[int]uint32, len(t.applied))
+	for k, v := range t.applied {
+		pre[k] = v
+	}
+	rec := make(map[int]uint32, len(pre))
+	err := t.redo.recover(p, func(_ wal.LSN, payload []byte) error {
+		seq, ok := payloadSeq(payload)
+		if !ok {
+			t.phantomFail++
+			return nil
+		}
+		rec[seq] = crc32.ChecksumIEEE(payload)
+		return nil
+	})
+	if err != nil {
+		t.errsF = append(t.errsF, fmt.Sprintf("%s failover recover: %v", t.name, err))
+	}
+	for seq, want := range pre {
+		if got, ok := rec[seq]; !ok || got != want {
+			t.lostFail++
+		}
+	}
+	for seq := range rec {
+		if _, ok := pre[seq]; !ok {
+			t.phantomFail++
+		}
+	}
+	t.failedOver = true
+	t.failTripAt = tripAt
+	t.failVerifyAt = t.fnode.env.Now()
+}
+
+// ---- results ----
+
+// TenantResult is one tenant's deterministic outcome.
+type TenantResult struct {
+	Name     string
+	Primary  int
+	Follower int
+
+	Ops       int // scheduled arrivals
+	Acked     int // replicated + acked completions
+	Reads     int
+	Degraded  int // completed local-only (follower gone)
+	Takeover  int // rerouted to the follower after primary loss
+	Dropped   int
+	Throttled int
+	Retries   int
+	Applied   int // records the follower applied
+
+	LatP50, LatP99, LatMax sim.Duration
+	RepLagP50, RepLagMax   sim.Duration
+	QoSWaitP99             sim.Duration
+	Evictions              uint64
+
+	FailedOver bool
+	Recovery   sim.Duration // failover verify duration past the trip
+	Lost       int
+	Phantom    int
+	Errs       []string
+}
+
+// DeviceResult is one device's outcome.
+type DeviceResult struct {
+	Down      bool
+	Fairness  float64 // Jain index over per-stream attained slot time
+	Leases    uint64
+	Evictions uint64
+}
+
+// FailoverResult aggregates the injected-crash outcome.
+type FailoverResult struct {
+	Device      int
+	TripAt      sim.Time
+	Tenants     int // tenants that failed over
+	RecoveryMax sim.Duration
+	Lost        int
+	Phantom     int
+}
+
+// Result is a fleet run's full deterministic outcome.
+type Result struct {
+	Tenants  []TenantResult
+	Devices  []DeviceResult
+	Failover *FailoverResult
+	Events   uint64
+}
+
+// Violations lists every broken invariant: lost or phantom records,
+// harness errors, or a configured crash that failed to fail over.
+func (r *Result) Violations() []string {
+	var v []string
+	for i := range r.Tenants {
+		t := &r.Tenants[i]
+		if t.Lost > 0 {
+			v = append(v, fmt.Sprintf("%s: %d lost records", t.Name, t.Lost))
+		}
+		if t.Phantom > 0 {
+			v = append(v, fmt.Sprintf("%s: %d phantom records", t.Name, t.Phantom))
+		}
+		v = append(v, t.Errs...)
+	}
+	if r.Failover != nil && r.Failover.Tenants == 0 {
+		v = append(v, fmt.Sprintf("crash on dev%d triggered no failover", r.Failover.Device))
+	}
+	return v
+}
+
+// Run executes the fleet and returns its outcome. The error covers
+// configuration/build problems only; correctness violations are in
+// Result.Violations so callers can report them with full context.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Devices < 2 {
+		return nil, errors.New("fleet: replication needs at least 2 devices")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("fleet: no tenants configured")
+	}
+	devCfg := DefaultDeviceConfig()
+	if cfg.Device != nil {
+		devCfg = *cfg.Device
+	}
+	fr := &fleetRT{cfg: &cfg, router: NewRouter(cfg.Policy, cfg.Devices)}
+	if cfg.Crash != nil {
+		if cfg.Crash.At <= 0 {
+			return nil, errors.New("fleet: crash needs a positive trip time")
+		}
+		if cfg.Crash.Device < 0 {
+			// Default to tenant 0's primary so the crash provokes failover.
+			c := *cfg.Crash
+			name := cfg.Tenants[0].Tenant
+			if name == "" {
+				name = "t0"
+			}
+			c.Device = fr.router.Place(0, name, len(cfg.Tenants)).Primary
+			cfg.Crash = &c
+		}
+		if cfg.Crash.Device >= cfg.Devices {
+			return nil, errors.New("fleet: crash device out of range")
+		}
+	}
+	g := sim.NewGroup()
+	g.SetWorkers(cfg.workers())
+	fr.nodes = make([]*node, cfg.Devices)
+	for d := range fr.nodes {
+		fr.nodes[d] = newNode(g, fr, devCfg, d)
+	}
+	tenants := make([]*tenantRT, len(cfg.Tenants))
+	for i, spec := range cfg.Tenants {
+		t, err := newTenant(g, fr, i, spec)
+		if err != nil {
+			g.Shutdown()
+			return nil, err
+		}
+		tenants[i] = t
+	}
+	for _, t := range tenants {
+		t.spawn()
+	}
+	g.Run()
+	res := buildResult(fr, tenants, g.Events())
+	g.Shutdown()
+	return res, nil
+}
+
+func buildResult(fr *fleetRT, tenants []*tenantRT, events uint64) *Result {
+	res := &Result{Events: events}
+	var fo *FailoverResult
+	if fr.cfg.Crash != nil {
+		fo = &FailoverResult{Device: fr.cfg.Crash.Device, TripAt: fr.cfg.Crash.At}
+	}
+	for _, t := range tenants {
+		tr := TenantResult{
+			Name: t.name, Primary: t.place.Primary, Follower: t.place.Follower,
+			Ops: len(t.sched), Acked: t.ackedN, Reads: t.reads,
+			Degraded: t.degraded, Takeover: t.takeover, Dropped: t.dropped,
+			Throttled: t.throttled, Retries: t.retries, Applied: t.appliedN,
+			LatP50: t.hLat.P50(), LatP99: t.hLat.P99(), LatMax: t.hLat.Max(),
+			RepLagP50:  t.hLag.P50(),
+			RepLagMax:  t.hLag.Max(),
+			QoSWaitP99: maxDur(t.h.hWait.P99(), t.redo.hWait.P99()),
+			Evictions:  t.h.cEvict.Value() + t.redo.cEvict.Value(),
+			FailedOver: t.failedOver,
+			Lost:       t.lostP + t.lostF + t.lostFail,
+			Phantom:    t.phantomP + t.phantomF + t.phantomFail,
+		}
+		tr.Errs = append(tr.Errs, t.errsP...)
+		tr.Errs = append(tr.Errs, t.errsF...)
+		if t.failedOver {
+			tr.Recovery = sim.Duration(t.failVerifyAt - t.failTripAt)
+			if fo != nil {
+				fo.Tenants++
+				fo.Lost += t.lostFail
+				fo.Phantom += t.phantomFail
+				if tr.Recovery > fo.RecoveryMax {
+					fo.RecoveryMax = tr.Recovery
+				}
+			}
+		}
+		res.Tenants = append(res.Tenants, tr)
+	}
+	for _, n := range fr.nodes {
+		res.Devices = append(res.Devices, DeviceResult{
+			Down:      n.down,
+			Fairness:  n.slots.fairness(),
+			Leases:    n.slots.cLeases.Value(),
+			Evictions: n.slots.cEvict.Value(),
+		})
+		for i := range res.Tenants {
+			res.Tenants[i].Errs = append(res.Tenants[i].Errs, n.errs...)
+			break // node errors once, on the first tenant
+		}
+	}
+	res.Failover = fo
+	return res
+}
+
+func maxDur(a, b sim.Duration) sim.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"twobssd/internal/sim"
+)
+
+func baseSpec() Spec {
+	return Spec{
+		Tenant:       "t0",
+		Seed:         42,
+		Arrival:      Poisson{RatePerSec: 10000},
+		Ops:          2000,
+		Keys:         1 << 16,
+		Theta:        0.99,
+		ReadFraction: 0.3,
+		PayloadBytes: 128,
+	}
+}
+
+// The whole schedule must be a pure function of the spec.
+func TestScheduleDeterminism(t *testing.T) {
+	a := baseSpec().Gen().Schedule()
+	b := baseSpec().Gen().Schedule()
+	if len(a) != len(b) || len(a) != 2000 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	s := baseSpec()
+	s.Seed = 43
+	c := s.Gen().Schedule()
+	same := 0
+	for i := range c {
+		if c[i].Key == a[i].Key {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Fatal("different seeds produced identical key streams")
+	}
+}
+
+// Arrivals must be strictly ordered and at positive instants.
+func TestScheduleMonotonic(t *testing.T) {
+	ops := baseSpec().Gen().Schedule()
+	var prev sim.Time
+	for _, op := range ops {
+		if op.At <= prev {
+			t.Fatalf("op %d at %d not after %d", op.Seq, op.At, prev)
+		}
+		prev = op.At
+	}
+}
+
+// Poisson arrivals should average near 1/rate.
+func TestPoissonMeanGap(t *testing.T) {
+	s := baseSpec()
+	s.Ops = 20000
+	ops := s.Gen().Schedule()
+	mean := float64(ops[len(ops)-1].At) / float64(len(ops))
+	want := float64(sim.Second) / 10000
+	if math.Abs(mean-want)/want > 0.1 {
+		t.Fatalf("mean gap %.0fns, want ~%.0fns", mean, want)
+	}
+}
+
+// Zipfian skew: the hottest key should soak up far more than uniform.
+func TestZipfianSkew(t *testing.T) {
+	s := baseSpec()
+	s.Ops = 20000
+	counts := map[int64]int{}
+	for _, op := range s.Gen().Schedule() {
+		counts[op.Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := float64(s.Ops) / float64(s.Keys)
+	if float64(max) < 20*uniform {
+		t.Fatalf("hottest key hit %d times; no meaningful skew over uniform %.2f", max, uniform)
+	}
+	s.Theta = 0
+	counts = map[int64]int{}
+	maxU := 0
+	for _, op := range s.Gen().Schedule() {
+		counts[op.Key]++
+		if counts[op.Key] > maxU {
+			maxU = counts[op.Key]
+		}
+	}
+	if maxU >= max {
+		t.Fatalf("uniform max %d not below zipfian max %d", maxU, max)
+	}
+}
+
+// Bursty arrivals must cluster inside the burst windows.
+func TestBurstyClustering(t *testing.T) {
+	s := baseSpec()
+	s.Arrival = Bursty{
+		BasePerSec:  1000,
+		BurstPerSec: 100000,
+		BurstEvery:  10 * sim.Millisecond,
+		BurstLen:    2 * sim.Millisecond,
+	}
+	s.Ops = 5000
+	in, out := 0, 0
+	for _, op := range s.Gen().Schedule() {
+		if sim.Duration(op.At%sim.Time(10*sim.Millisecond)) < 2*sim.Millisecond+100*sim.Microsecond {
+			in++
+		} else {
+			out++
+		}
+	}
+	// Burst windows are 20% of time but should carry the large majority.
+	if in < 3*out {
+		t.Fatalf("bursts not clustered: %d in-window vs %d out", in, out)
+	}
+}
+
+// Ramp should accelerate: the second half of a ramp holds more ops.
+func TestRampAccelerates(t *testing.T) {
+	s := baseSpec()
+	s.Arrival = Ramp{StartPerSec: 1000, EndPerSec: 50000, Over: 50 * sim.Millisecond}
+	s.Ops = 3000
+	ops := s.Gen().Schedule()
+	mid := ops[len(ops)-1].At / 2
+	early := 0
+	for _, op := range ops {
+		if op.At < mid {
+			early++
+		}
+	}
+	if early*2 >= len(ops) {
+		t.Fatalf("ramp did not accelerate: %d of %d ops in the first half", early, len(ops))
+	}
+}
+
+// Backoff must be deterministic, exponential, and jittered within ±25%.
+func TestBackoffShape(t *testing.T) {
+	s := baseSpec()
+	s.RetryBackoff = 100 * sim.Microsecond
+	for attempt := 1; attempt <= 5; attempt++ {
+		d1 := s.Backoff(7, attempt)
+		d2 := s.Backoff(7, attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d backoff not deterministic: %d vs %d", attempt, d1, d2)
+		}
+		base := float64(int64(100*sim.Microsecond) << uint(attempt-1))
+		f := float64(d1) / base
+		if f < 0.75 || f > 1.25 {
+			t.Fatalf("attempt %d jitter factor %.3f outside [0.75,1.25]", attempt, f)
+		}
+	}
+	if s.Backoff(7, 1) == s.Backoff(8, 1) {
+		t.Fatal("distinct ops produced identical jitter")
+	}
+}

@@ -1,0 +1,92 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"twobssd/internal/core"
+	"twobssd/internal/sim"
+)
+
+// TestRebindMovesWindow drives the fleet QoS lease pattern: commit a
+// batch, flush, Rebind onto different mapping-table entries and a
+// different BA-buffer window, commit more — every record from every
+// lease must recover from media, in order.
+func TestRebindMovesWindow(t *testing.T) {
+	r := newRig()
+	l := r.openLog(t, "log", BA)
+	segBytes := l.cfg.SegmentBytes
+	var want []string
+	batch := func(p *sim.Proc, lease int) {
+		for i := 0; i < 12; i++ {
+			payload := fmt.Sprintf("lease-%d-record-%03d", lease, i)
+			want = append(want, payload)
+			lsn, err := l.Append(p, []byte(payload))
+			if err != nil {
+				t.Fatalf("lease %d append %d: %v", lease, i, err)
+			}
+			if err := l.Commit(p, lsn); err != nil {
+				t.Fatalf("lease %d commit %d: %v", lease, i, err)
+			}
+		}
+	}
+	r.env.Go("t", func(p *sim.Proc) {
+		batch(p, 0)
+		// Rebind on a pinned log must refuse: the window still holds
+		// undumped bytes on the old entries.
+		if err := l.Rebind([]core.EID{2, 3}, 2*segBytes); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("rebind while pinned: err = %v, want ErrBadConfig", err)
+		}
+		if err := l.FlushToNAND(p); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if err := l.Rebind([]core.EID{2, 3}, 2*segBytes); err != nil {
+			t.Fatalf("rebind: %v", err)
+		}
+		batch(p, 1)
+		if err := l.FlushToNAND(p); err != nil {
+			t.Fatalf("flush 2: %v", err)
+		}
+		// Too few entries for a double-buffered log must refuse.
+		if err := l.Rebind([]core.EID{1}, 0); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("rebind with 1 EID: err = %v, want ErrBadConfig", err)
+		}
+		// And back onto the original window for a third lease.
+		if err := l.Rebind([]core.EID{0, 1}, 0); err != nil {
+			t.Fatalf("rebind back: %v", err)
+		}
+		batch(p, 2)
+		if err := l.FlushToNAND(p); err != nil {
+			t.Fatalf("flush 3: %v", err)
+		}
+		var got []string
+		err := l.Recover(p, func(_ LSN, payload []byte) error {
+			got = append(got, string(payload))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("recovered %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: %q, want %q", i, got[i], want[i])
+			}
+		}
+	})
+	r.env.Run()
+	r.env.Shutdown()
+}
+
+// Rebind is a byte-path concept; block-mode logs must refuse it.
+func TestRebindRejectsBlockModes(t *testing.T) {
+	r := newRig()
+	l := r.openLog(t, "log", Sync)
+	if err := l.Rebind([]core.EID{2, 3}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("rebind on SYNC log: err = %v, want ErrBadConfig", err)
+	}
+	r.env.Shutdown()
+}

@@ -781,3 +781,30 @@ func (l *Log) unpinMine(p *sim.Proc) error {
 	}
 	return nil
 }
+
+// Rebind moves a fully-flushed BA/PMR log onto a different set of
+// mapping-table entries and a different BA-buffer window. It is the
+// mechanism behind mapping-table slot leasing: a log that has been
+// FlushToNAND'd owns no pinned segments, so its entry IDs and buffer
+// offset are free to change before the next append re-pins. Appending
+// state (offsets, durability cursors) is untouched.
+func (l *Log) Rebind(eids []core.EID, bufferOffset int) error {
+	if l.cfg.Mode != BA && l.cfg.Mode != PMR {
+		return fmt.Errorf("%w: Rebind needs a BA/PMR-mode log", ErrBadConfig)
+	}
+	if len(eids) < len(l.halves) {
+		return fmt.Errorf("%w: Rebind needs %d EIDs", ErrBadConfig, len(l.halves))
+	}
+	for _, h := range l.halves {
+		if h.seg != -1 || !h.ready {
+			return fmt.Errorf("%w: Rebind on a pinned log (FlushToNAND first)", ErrBadConfig)
+		}
+	}
+	l.cfg.EIDs = append([]core.EID(nil), eids...)
+	l.cfg.BufferOffset = bufferOffset
+	for i, h := range l.halves {
+		h.eid = eids[i]
+		h.bufOff = bufferOffset + i*l.cfg.SegmentBytes
+	}
+	return nil
+}
