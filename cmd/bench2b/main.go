@@ -9,22 +9,30 @@
 // mixed recovery tail smallread pmr journal qd pfleet probe ablations
 // all (default: all).
 //
-// Six reliability artifacts run only when named explicitly (they are
-// not part of "all"): "crash" sweeps 128 deterministic power-loss
-// points per workload across every storage engine (640 total) and
-// "crash-smoke" is the 64-point CI variant over lsm + pglite. Both
-// exit non-zero when any crash point violates the durability contract
-// (a committed record lost despite a persisted dump, or a phantom
-// record recovered). "fuzz" replays -seeds randomized dual-path
-// workloads (default 256) against the internal/oracle reference model
-// and "fuzz-smoke" is the 32-seed CI variant; both exit non-zero on
-// any stack/model divergence, after shrinking it to a minimal op
-// trace. "fleet" runs the multi-device scenario family (a 4-device,
-// 8-tenant fleet with BA-log replication under steady, bursty,
-// diurnal and saturating tenant traffic, plus an injected primary
-// power loss with follower takeover) and "fleet-smoke" is the
+// Eight reliability artifacts run only when named explicitly (they
+// are not part of "all"): "crash" sweeps 128 deterministic power-loss
+// points per workload across every storage engine (768 total,
+// including the segmented-WAL lifecycle engine) and "crash-smoke" is
+// the 96-point CI variant over lsm, pglite + walseg. Both exit
+// non-zero when any crash point violates the durability contract (a
+// committed record lost despite a persisted dump, or a phantom record
+// recovered). "fuzz" replays -seeds randomized dual-path workloads
+// (default 256) against the internal/oracle reference model and
+// "fuzz-smoke" is the 32-seed CI variant; both exit non-zero on any
+// stack/model divergence, after shrinking it to a minimal op trace.
+// "fleet" runs the multi-device scenario family (a 4-device, 8-tenant
+// fleet with tail-streamed segmented-WAL replication under steady,
+// bursty, diurnal and saturating tenant traffic, plus an injected
+// primary power loss with follower takeover) and "fleet-smoke" is the
 // 2-device CI variant; both exit non-zero on any lost or phantom
 // record, missed failover, or worker-count determinism divergence.
+// "wal-life" is the segmented-WAL lifecycle evaluation: a feature
+// table timing commit/group-commit/rotation/checkpoint/tail/recovery
+// on the BA byte path vs the block+flush baseline, then 128 crash
+// points per mode with rotation/checkpoint/truncation-instant
+// triggers and torn-tail repair; "wal-life-smoke" is the 32-point CI
+// variant, which additionally runs the sweep twice and fails on any
+// byte-level nondeterminism.
 //
 // -j fans the independent simulation environments behind each
 // experiment data point — and the experiments themselves — out across N
@@ -140,7 +148,29 @@ func crashExperiments(failed *atomic.Bool) []experiment {
 	}
 	return []experiment{
 		{"crash", func(w io.Writer) { run(w, nil, 128) }},
-		{"crash-smoke", func(w io.Writer) { run(w, []string{"lsm", "pglite"}, 32) }},
+		{"crash-smoke", func(w io.Writer) { run(w, []string{"lsm", "pglite", "walseg"}, 32) }},
+	}
+}
+
+// walLifeExperiments returns the segmented-WAL lifecycle artifacts:
+// "wal-life" is the full evaluation (feature table + 128 crash points
+// per commit mode) and "wal-life-smoke" the 32-point CI variant with a
+// byte-identity determinism check. Any durability or repair violation
+// — or smoke-run nondeterminism — flips failed so main exits non-zero.
+func walLifeExperiments(failed *atomic.Bool) []experiment {
+	return []experiment{
+		{"wal-life", func(w io.Writer) {
+			if err := bench.RunWalLife(w, 128); err != nil {
+				fmt.Fprintf(w, "FAIL: %v\n", err)
+				failed.Store(true)
+			}
+		}},
+		{"wal-life-smoke", func(w io.Writer) {
+			if err := bench.RunWalLifeSmoke(w, 32); err != nil {
+				fmt.Fprintf(w, "FAIL: %v\n", err)
+				failed.Store(true)
+			}
+		}},
 	}
 }
 
@@ -278,7 +308,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bench2b [-full] [-j N] [-pshards N] [-seeds N] [-metrics m.json] [-trace out.trace.json] [-benchjson b.json] [-benchgate base.json] [-obsbench o.json] [-sample D] [-timeline t.json] [-listen addr] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: tab1 fig7a fig7b fig8a fig8b fig9 fig10 commit waf mixed recovery tail smallread pmr journal qd pfleet probe ablations all\n")
-		fmt.Fprintf(os.Stderr, "reliability (not in \"all\"): crash crash-smoke fuzz fuzz-smoke fleet fleet-smoke\n")
+		fmt.Fprintf(os.Stderr, "reliability (not in \"all\"): crash crash-smoke fuzz fuzz-smoke fleet fleet-smoke wal-life wal-life-smoke\n")
 	}
 	flag.Parse()
 	scale, scaleName := bench.Quick, "quick"
@@ -381,6 +411,9 @@ func main() {
 		byID[ex.id] = ex
 	}
 	for _, ex := range fleetExperiments(&gateFailed, scale) {
+		byID[ex.id] = ex
+	}
+	for _, ex := range walLifeExperiments(&gateFailed) {
 		byID[ex.id] = ex
 	}
 	var selected []experiment

@@ -467,14 +467,23 @@ type crashWorkload struct {
 	ops   int
 	seed  uint64
 	build func(ops int) func(env *sim.Env, p *sim.Proc) (fault.Cycle, error)
+	// tweak optionally adjusts per-point fault plans (fault.Campaign's
+	// Tweak contract: pure in the point index).
+	tweak func(i int, plan *fault.Plan)
 }
 
 var crashWorkloads = []crashWorkload{
-	{"wal", 48, 0x2b55c0de0001, func(int) func(*sim.Env, *sim.Proc) (fault.Cycle, error) { return buildWALCrash }},
-	{"lsm", 32, 0x2b55c0de0002, buildLSMCrash},
-	{"pglite", 32, 0x2b55c0de0003, buildPGCrash},
-	{"kvaof", 40, 0x2b55c0de0004, func(int) func(*sim.Env, *sim.Proc) (fault.Cycle, error) { return buildAOFCrash }},
-	{"jfs", 32, 0x2b55c0de0005, buildJFSCrash},
+	{"wal", 48, 0x2b55c0de0001, func(int) func(*sim.Env, *sim.Proc) (fault.Cycle, error) { return buildWALCrash }, nil},
+	{"lsm", 32, 0x2b55c0de0002, buildLSMCrash, nil},
+	{"pglite", 32, 0x2b55c0de0003, buildPGCrash, nil},
+	{"kvaof", 40, 0x2b55c0de0004, func(int) func(*sim.Env, *sim.Proc) (fault.Cycle, error) { return buildAOFCrash }, nil},
+	{"jfs", 32, 0x2b55c0de0005, buildJFSCrash, nil},
+	// walseg runs a full segmented-WAL lifecycle (rotation, checkpoint
+	// truncation, snapshot + chain-replay recovery) on the BA path,
+	// with dump cuts on a point subset so torn-tail repair runs too.
+	{"walseg", 48, 0x2b55c0de0006,
+		func(ops int) func(*sim.Env, *sim.Proc) (fault.Cycle, error) { return buildWalSegCrash(wal.BA, ops) },
+		walLifeTweak},
 }
 
 // CrashWorkloads lists the crash-campaign workload names in run order.
@@ -497,6 +506,7 @@ func NewCrashCampaign(workload string, pts int) (*fault.Campaign, error) {
 				Ops:    w.ops,
 				Seed:   w.seed,
 				Build:  w.build(w.ops),
+				Tweak:  w.tweak,
 			}, nil
 		}
 	}

@@ -36,6 +36,16 @@ type Cycle interface {
 	Recover(p *sim.Proc) (recovered, phantoms []string, err error)
 }
 
+// RepairReporter is an optional Cycle extension for workloads whose
+// recovery path can repair torn WAL tails (the segmented WAL). After a
+// successful Recover the campaign asks how many repairs ran and
+// whether any failed; a non-empty failure string is a campaign
+// violation and captures the flight recorder like any other
+// durability break.
+type RepairReporter interface {
+	RecoveryRepair() (repairs int, failure string)
+}
+
 // Campaign sweeps crash points across one workload. Prepare (or Run)
 // first executes a fault-free profile run to learn the workload's
 // duration and per-class event counts, then spreads Points triggers
@@ -50,6 +60,13 @@ type Campaign struct {
 	// Build constructs the device stack and workload on env. The
 	// campaign has already installed the point's Injector on env.
 	Build func(env *sim.Env, p *sim.Proc) (Cycle, error)
+
+	// Tweak optionally adjusts one point's fault plan before it is
+	// installed (e.g. cutting the capacitor dump short on a subset of
+	// points so recovery must repair torn tails). The plan arrives
+	// with Seed and the PowerLoss trigger already set. Must be a pure
+	// function of i so shrinking stays deterministic.
+	Tweak func(i int, plan *Plan)
 
 	specs   []Trigger
 	profile struct {
@@ -88,6 +105,7 @@ type PointResult struct {
 	StagedSurvived bool
 	Persisted      bool
 	DumpEnergyJ    float64
+	Repairs        int // torn-tail repairs recovery performed
 
 	Lost    []string // committed keys missing after recovery (sorted)
 	Phantom []string // recovered keys never appended / wrong content (sorted)
@@ -207,7 +225,11 @@ func (c *Campaign) RunPoint(i int) PointResult {
 func (c *Campaign) runTrial(i int, trig Trigger) PointResult {
 	pr := PointResult{Index: i, Trigger: trig.String()}
 	env := sim.NewEnv()
-	in := Install(env, Plan{Seed: c.pointSeed(i), PowerLoss: trig})
+	plan := Plan{Seed: c.pointSeed(i), PowerLoss: trig}
+	if c.Tweak != nil {
+		c.Tweak(i, &plan)
+	}
+	in := Install(env, plan)
 	// Always-on flight recorder: bounded ring, constant memory, so the
 	// one point in thousands that violates hands over its last spans.
 	set := obs.Of(env)
@@ -248,6 +270,14 @@ func (c *Campaign) runTrial(i int, trig Trigger) PointResult {
 		if err != nil {
 			pr.Err = fmt.Sprintf("recover: %v", err)
 			return
+		}
+		if rr, ok := cyc.(RepairReporter); ok {
+			n, fail := rr.RecoveryRepair()
+			pr.Repairs = n
+			if fail != "" {
+				pr.Err = fmt.Sprintf("recovery repair: %s", fail)
+				return
+			}
 		}
 		rec := make(map[string]bool, len(recovered))
 		for _, k := range recovered {
@@ -361,6 +391,7 @@ func (r *Report) WriteText(w io.Writer) error {
 	classes := map[string]int{}
 	tripped := 0
 	committed, recovered, survivors, persisted := 0, 0, 0, 0
+	repairs := 0
 	var energy float64
 	var faults FaultCounts
 	for _, pr := range r.Results {
@@ -376,6 +407,7 @@ func (r *Report) WriteText(w io.Writer) error {
 		if pr.Persisted {
 			persisted++
 		}
+		repairs += pr.Repairs
 		energy += pr.DumpEnergyJ
 		faults = faults.add(pr.Faults)
 	}
@@ -397,9 +429,9 @@ func (r *Report) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "  committed=%d recovered=%d staged-survivors=%d dump-persisted=%d/%d\n",
 		committed, recovered, survivors, persisted, len(r.Results))
 	fmt.Fprintf(w, "  dump energy: %.2f mJ total\n", energy*1e3)
-	fmt.Fprintf(w, "  faults: trips=%d ecc-retries=%d uncorrectable=%d program-fails=%d erase-fails=%d timeouts=%d\n",
+	fmt.Fprintf(w, "  faults: trips=%d ecc-retries=%d uncorrectable=%d program-fails=%d erase-fails=%d timeouts=%d torn-repairs=%d\n",
 		faults.Trips, faults.EccRetries, faults.Uncorrectable,
-		faults.ProgramFails, faults.EraseFails, faults.Timeouts)
+		faults.ProgramFails, faults.EraseFails, faults.Timeouts, repairs)
 	viol := r.Violations()
 	fmt.Fprintf(w, "  violations: %d\n", len(viol))
 	for _, pr := range viol {

@@ -160,3 +160,98 @@ func (c *cleanCycle) Crash(p *sim.Proc) (bool, float64, error) {
 func (c *cleanCycle) Recover(p *sim.Proc) ([]string, []string, error) {
 	return append([]string(nil), c.committed...), nil, nil
 }
+
+// repairCycle is a cleanCycle that additionally reports torn-tail
+// repair outcomes through fault.RepairReporter.
+type repairCycle struct {
+	cleanCycle
+	repairs int
+	fail    string
+}
+
+func (c *repairCycle) RecoveryRepair() (int, string) { return c.repairs, c.fail }
+
+func (c *repairCycle) Step(p *sim.Proc, i int) (string, error) {
+	sp := obs.Of(c.env).Tracer().BeginProc(p, "workload", "repair_step")
+	p.Sleep(50 * sim.Microsecond)
+	sp.End()
+	return c.cleanCycle.Step(p, i)
+}
+
+// TestRepairFailureIsViolationWithDump: a WAL recovery that cannot
+// durably repair its torn tail is a first-class campaign violation —
+// surfaced with the repair error and a flight-recorder dump — even
+// when no committed record was lost.
+func TestRepairFailureIsViolationWithDump(t *testing.T) {
+	c := &fault.Campaign{
+		Name: "repair-fail", Points: 2, Ops: 4, Seed: 0x2b57,
+		Build: func(env *sim.Env, p *sim.Proc) (fault.Cycle, error) {
+			return &repairCycle{
+				cleanCycle: cleanCycle{env: env},
+				repairs:    1, fail: "readback at 4096 not clean",
+			}, nil
+		},
+	}
+	serial := func(n int, fn func(i int)) {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+	}
+	rep, err := c.Run(serial)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	viol := rep.Violations()
+	if len(viol) != 2 {
+		t.Fatalf("violations = %d, want every point", len(viol))
+	}
+	for _, pr := range viol {
+		if !strings.Contains(pr.Err, "recovery repair") ||
+			!strings.Contains(pr.Err, "readback at 4096") {
+			t.Fatalf("point %d err = %q, want the repair failure", pr.Index, pr.Err)
+		}
+		if pr.Flight == nil || len(pr.Flight.Events) == 0 {
+			t.Fatalf("point %d repair violation carries no flight dump", pr.Index)
+		}
+		if pr.Repairs != 1 {
+			t.Fatalf("point %d repairs = %d, want 1", pr.Index, pr.Repairs)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), `err="recovery repair: readback at 4096 not clean"`) {
+		t.Fatalf("report does not surface the repair failure:\n%s", buf.String())
+	}
+}
+
+// TestSuccessfulRepairsAggregate: successful torn-tail repairs are no
+// violation and aggregate into the report's torn-repairs fault count.
+func TestSuccessfulRepairsAggregate(t *testing.T) {
+	c := &fault.Campaign{
+		Name: "repair-ok", Points: 3, Ops: 4, Seed: 0x2b58,
+		Build: func(env *sim.Env, p *sim.Proc) (fault.Cycle, error) {
+			return &repairCycle{cleanCycle: cleanCycle{env: env}, repairs: 2}, nil
+		},
+	}
+	serial := func(n int, fn func(i int)) {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+	}
+	rep, err := c.Run(serial)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Violations()) != 0 {
+		t.Fatalf("successful repairs misreported as violations: %+v", rep.Violations())
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(buf.String(), "torn-repairs=6") {
+		t.Fatalf("report missing aggregated torn-repairs:\n%s", buf.String())
+	}
+}

@@ -45,6 +45,14 @@ const (
 	EvBAFlushPage
 	// EvWalCommit fires once per successful WAL commit.
 	EvWalCommit
+	// EvWalRotate fires once per segmented-WAL rotation (active
+	// segment sealed + next ring slot recycled).
+	EvWalRotate
+	// EvWalCheckpoint fires once per durable segmented-WAL checkpoint
+	// (meta page written, before truncation starts).
+	EvWalCheckpoint
+	// EvWalTruncate fires once per truncated (freed) WAL segment.
+	EvWalTruncate
 
 	numEvents
 )
@@ -60,6 +68,12 @@ func (e Event) String() string {
 		return "ba_flush_page"
 	case EvWalCommit:
 		return "wal_commit"
+	case EvWalRotate:
+		return "wal_rotate"
+	case EvWalCheckpoint:
+		return "wal_checkpoint"
+	case EvWalTruncate:
+		return "wal_truncate"
 	}
 	return fmt.Sprintf("event_%d", int(e))
 }

@@ -5,9 +5,10 @@
 // Topology: every device is one partition of a sim.Group, so a fleet
 // runs serially (one worker) or partitioned (N workers) with
 // byte-identical results — the conservative-lookahead guarantee of
-// sim.Group. A tenant's WAL and volume live on its primary device
-// (placed by the Router); every byte-path commit is shipped over a
-// latency-modeled sim.Link to a follower device, which redoes the
+// sim.Group. A tenant's segmented WAL and volume live on its primary
+// device (placed by the Router); a per-tenant shipper streams every
+// durable record off the WAL's tailing reader (wal.Segmented.Tail)
+// and ships it over a latency-modeled sim.Link to a follower device, which redoes the
 // record into its own BA-mode log and acks. A tenant op counts as
 // committed only when the follower's ack arrives (synchronous
 // replication), which is what makes failover lossless: when the
@@ -175,6 +176,9 @@ func (n *node) crash(p *sim.Proc) {
 		if !t.dataClosed {
 			t.data.Send(p, repMsg{fail: true, tripAt: n.downAt})
 		}
+		// Wake a shipper parked on the tail signal so it observes the
+		// cut and exits instead of waiting for records that never come.
+		t.h.log.WakeTail()
 	}
 }
 
@@ -199,31 +203,34 @@ type tenantRT struct {
 	ack   *sim.Link[ackMsg]
 
 	// ---- client side (primary env) ----
-	wg         *sim.WaitGroup
-	doneSig    *sim.Signal
-	clientDone bool
-	dataClosed bool
-	ackClosed  bool // follower gone: local-only degraded mode
-	inflight   int
-	sent       []bool
-	acked      []bool
-	committed  []bool // committed on the primary's log
-	ackedN     int
-	reads      int
-	degraded   int
-	takeover   int
-	throttled  int
-	retries    int
-	dropped    int
-	lostP      int
-	phantomP   int
-	errsP      []string
-	readBuf    []byte
-	hLat       *histo.H
-	cCommits   *obs.Counter
-	cThrottled *obs.Counter
-	cRetries   *obs.Counter
-	cDropped   *obs.Counter
+	wg          *sim.WaitGroup
+	doneSig     *sim.Signal
+	shipDone    *sim.Signal
+	clientDone  bool
+	dataClosed  bool
+	ackClosed   bool // follower gone: local-only degraded mode
+	produceDone bool // all op procs finished; shipper may drain and exit
+	shipperDone bool
+	inflight    int
+	sent        []bool
+	acked       []bool
+	committed   []bool // committed on the primary's log
+	ackedN      int
+	reads       int
+	degraded    int
+	takeover    int
+	throttled   int
+	retries     int
+	dropped     int
+	lostP       int
+	phantomP    int
+	errsP       []string
+	readBuf     []byte
+	hLat        *histo.H
+	cCommits    *obs.Counter
+	cThrottled  *obs.Counter
+	cRetries    *obs.Counter
+	cDropped    *obs.Counter
 
 	// ---- follower side (follower env) ----
 	applied      map[int]uint32 // seq → payload CRC applied to the redo log
@@ -309,34 +316,29 @@ func newTenant(g *sim.Group, fr *fleetRT, idx int, spec traffic.Spec) (*tenantRT
 		return nil, fmt.Errorf("fleet: tenant %s placed on a single device", name)
 	}
 	pn, fn := fr.nodes[place.Primary], fr.nodes[place.Follower]
-	walFile, err := pn.fs.Create("wal-"+name, cfg.logBytes())
-	if err != nil {
-		return nil, err
-	}
 	vol, err := pn.fs.Create("vol-"+name, cfg.volumeBytes())
-	if err != nil {
-		return nil, err
-	}
-	redoFile, err := fn.fs.Create("redo-"+name, cfg.logBytes())
 	if err != nil {
 		return nil, err
 	}
 	t := &tenantRT{
 		fr: fr, idx: idx, spec: spec, name: name, place: place,
 		pnode: pn, fnode: fn,
-		vol:   vol,
-		data:  sim.NewLink[repMsg](g, pn.env, fn.env, "data-"+name, cfg.netLatency()),
-		ack:   sim.NewLink[ackMsg](g, fn.env, pn.env, "ack-"+name, cfg.netLatency()),
+		vol:  vol,
+		data: sim.NewLink[repMsg](g, pn.env, fn.env, "data-"+name, cfg.netLatency()),
+		ack:  sim.NewLink[ackMsg](g, fn.env, pn.env, "ack-"+name, cfg.netLatency()),
 	}
-	if t.h, err = newLogHandle(pn.slots, pn.ssd, walFile, name); err != nil {
+	// The segmented logs create their own ring files ("wal-t0.0".."3"
+	// plus the checkpoint meta page) on each device's filesystem.
+	if t.h, err = newLogHandle(pn.slots, pn.ssd, pn.fs, "wal-"+name, name, cfg.logBytes()); err != nil {
 		return nil, err
 	}
-	if t.redo, err = newLogHandle(fn.slots, fn.ssd, redoFile, name+".redo"); err != nil {
+	if t.redo, err = newLogHandle(fn.slots, fn.ssd, fn.fs, "redo-"+name, name+".redo", cfg.logBytes()); err != nil {
 		return nil, err
 	}
 	t.sched = spec.Gen().Schedule()
 	t.wg = pn.env.NewWaitGroup("fleet." + name + ".ops")
 	t.doneSig = pn.env.NewSignal("fleet." + name + ".done")
+	t.shipDone = pn.env.NewSignal("fleet." + name + ".ship")
 	t.sent = make([]bool, len(t.sched))
 	t.acked = make([]bool, len(t.sched))
 	t.committed = make([]bool, len(t.sched))
@@ -355,8 +357,49 @@ func newTenant(g *sim.Group, fr *fleetRT, idx int, spec traffic.Spec) (*tenantRT
 
 func (t *tenantRT) spawn() {
 	t.pnode.env.Go("fleet.client."+t.name, t.runClient)
+	t.pnode.env.Go("fleet.ship."+t.name, t.runShipper)
 	t.pnode.env.Go("fleet.acks."+t.name, t.runAckWatch)
 	t.fnode.env.Go("fleet.redo."+t.name, t.runFollower)
+}
+
+// runShipper streams the primary WAL to the follower through the
+// segmented log's tailing reader: every record the log reports durable
+// is shipped in LSN order, decoupled from the op procs that committed
+// it. The reader hands records straight from the log's retention
+// cache, so replication needs no second media read and no op-side
+// bookkeeping beyond the commit itself.
+func (t *tenantRT) runShipper(p *sim.Proc) {
+	defer func() {
+		t.shipperDone = true
+		t.shipDone.Fire()
+	}()
+	r := t.h.log.Tail(0)
+	defer r.Close()
+	for {
+		if t.pnode.down || t.ackClosed || t.dataClosed {
+			return
+		}
+		rec, ok, err := r.TryNext()
+		if err != nil {
+			return // closed or truncated under us: nothing left to ship
+		}
+		if !ok {
+			if t.produceDone && r.Pos() >= t.h.log.DurableLSN() {
+				return // drained the final durable frontier
+			}
+			t.h.log.WaitTail(p)
+			continue
+		}
+		seq, valid := payloadSeq([]byte(rec.Payload))
+		if !valid || t.sent[seq] {
+			continue
+		}
+		t.sent[seq] = true
+		t.data.Send(p, repMsg{
+			seq: seq, at: t.sched[seq].At, commit: rec.At, local: true,
+			payload: rec.Payload,
+		})
+	}
 }
 
 // runClient is the open-loop dispatcher: it releases one op proc at
@@ -371,6 +414,14 @@ func (t *tenantRT) runClient(p *sim.Proc) {
 		t.pnode.env.GoIdx("fleet.op."+t.name, i, t.opBody)
 	}
 	t.wg.Wait(p)
+	// Let the shipper drain the durable tail before closing the data
+	// link: records commit through op procs but ship through the tail
+	// reader, so the link must stay open until the reader catches up.
+	t.produceDone = true
+	t.h.log.WakeTail()
+	for !t.shipperDone {
+		t.shipDone.Wait(p)
+	}
 	t.dataClosed = true
 	t.data.Close(p)
 	t.clientDone = true
@@ -435,10 +486,8 @@ func (t *tenantRT) opBody(p *sim.Proc, i int) {
 				t.inflight--
 				return
 			}
-			t.sent[i] = true
-			t.data.Send(p, repMsg{
-				seq: i, at: op.At, commit: env.Now(), local: true, payload: payload,
-			})
+			// The tail-reader shipper picks the record up from here; the
+			// op completes (inflight--) when the follower's ack arrives.
 			return
 		}
 		if !errors.Is(err, core.ErrPowerIsOff) && !t.pnode.down {
@@ -468,10 +517,12 @@ func (t *tenantRT) runAckWatch(p *sim.Proc) {
 		a, ok := t.ack.Recv(p)
 		if !ok {
 			// Follower gone (or clean end): finish outstanding ops that
-			// did commit locally as degraded completions.
+			// did commit locally as degraded completions — whether or
+			// not the shipper got to them before the follower vanished.
 			t.ackClosed = true
+			t.h.log.WakeTail() // release a parked shipper
 			for i := range t.sched {
-				if t.sent[i] && !t.acked[i] && t.committed[i] {
+				if t.committed[i] && !t.acked[i] {
 					t.degraded++
 					t.hLat.Observe(sim.Duration(env.Now() - t.sched[i].At))
 				}

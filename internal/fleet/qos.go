@@ -179,20 +179,20 @@ func (m *slotManager) release(si int, h *logHandle, evicted bool) {
 	m.gFairness.Set(m.fairness())
 }
 
-// logHandle is one log stream under slot management: a BA-mode WAL
-// whose pinned window (EID + buffer offset) is whatever slot the
-// stream currently leases. Between leases the log is flushed to NAND
-// (so it owns no mapping-table entry) and wal.Rebind moves it onto
-// the next leased slot; append offsets carry across leases.
+// logHandle is one log stream under slot management: a BA-mode
+// segmented WAL (wal.Segmented — the stream rotates through a ring of
+// segment files) whose pinned window (EID + buffer offset) is whatever
+// slot the stream currently leases. Between leases the log is flushed
+// to NAND (so it owns no mapping-table entry) and wal.Rebind moves it
+// onto the next leased slot; append offsets carry across leases.
 type logHandle struct {
 	mgr    *slotManager
 	stream string
 	ssd    *core.TwoBSSD
-	file   *vfs.File
 	mu     *sim.Resource
 	sig    *sim.Signal
 
-	log     *wal.Log
+	log     *wal.Segmented
 	slotIdx int // leased slot, -1 between leases
 
 	// Arbitration state owned by the manager.
@@ -208,20 +208,30 @@ type logHandle struct {
 	cEvict *obs.Counter
 }
 
-func newLogHandle(mgr *slotManager, ssd *core.TwoBSSD, file *vfs.File, stream string) (*logHandle, error) {
-	l, err := wal.Open(mgr.env, wal.Config{
-		Mode:         wal.BA,
-		File:         file,
-		SSD:          ssd,
-		EIDs:         []core.EID{0}, // placeholder; Rebind sets the leased entry
-		SegmentBytes: mgr.segBytes,
+// newLogHandle opens the stream's segmented log: Ring files of
+// logBytes/4 each (so total ring capacity matches the configured log
+// size), with the slot window size as the inner BA pin unit.
+func newLogHandle(mgr *slotManager, ssd *core.TwoBSSD, fs *vfs.FS, name, stream string, logBytes int64) (*logHandle, error) {
+	segFile := logBytes / 4 / int64(mgr.segBytes) * int64(mgr.segBytes)
+	if segFile < int64(mgr.segBytes) {
+		segFile = int64(mgr.segBytes)
+	}
+	l, err := wal.OpenSegmented(mgr.env, wal.SegConfig{
+		Mode:              wal.BA,
+		FS:                fs,
+		Name:              name,
+		SegmentFileBytes:  segFile,
+		Ring:              4,
+		InnerSegmentBytes: mgr.segBytes,
+		SSD:               ssd,
+		EIDs:              []core.EID{0}, // placeholder; Rebind sets the leased entry
 	})
 	if err != nil {
 		return nil, err
 	}
 	reg := obs.Of(mgr.env).Registry()
 	return &logHandle{
-		mgr: mgr, stream: stream, ssd: ssd, file: file, log: l,
+		mgr: mgr, stream: stream, ssd: ssd, log: l,
 		mu:      mgr.env.NewResource(fmt.Sprintf("fleet.%s.mu", stream), 1),
 		sig:     mgr.env.NewSignal(fmt.Sprintf("fleet.%s.slot", stream)),
 		slotIdx: -1,
@@ -289,10 +299,11 @@ func (h *logHandle) release(p *sim.Proc) error {
 	return h.releaseLocked(p, false)
 }
 
-// recover flushes everything to NAND and replays the log from media
-// into fn — the end-to-end integrity read used by the failover
-// verifier and the end-of-run oracle check. The log stays leased and
-// positioned after the last durable record, ready for more appends.
+// recover flushes everything to NAND and replays the segment chain
+// from media into fn — the end-to-end integrity read used by the
+// failover verifier and the end-of-run oracle check. The log stays
+// leased and positioned after the last durable record, ready for more
+// appends.
 func (h *logHandle) recover(p *sim.Proc, fn func(lsn wal.LSN, payload []byte) error) error {
 	h.mu.Acquire(p)
 	defer h.mu.Release()
@@ -302,5 +313,6 @@ func (h *logHandle) recover(p *sim.Proc, fn func(lsn wal.LSN, payload []byte) er
 	if err := h.ensure(p); err != nil {
 		return err
 	}
-	return h.log.Recover(p, fn)
+	_, err := h.log.Recover(p, fn)
+	return err
 }

@@ -1,0 +1,884 @@
+// Segmented WAL lifecycle: the production toolkit over the single-file
+// Log — segment rotation, checkpoint-driven truncation, group commit,
+// follow-the-tail streaming readers, and torn-write-aware chain
+// recovery.
+//
+// The stream lives in one global LSN space divided into fixed-size
+// segments, each backed by its own vfs file from a ring of Ring slots:
+// segment seq covers LSNs [seq*S, (seq+1)*S) and lives in ring slot
+// seq%Ring. The active segment appends through an inner Log whose
+// BaseLSN is the segment's base, so every record header stamp is its
+// global LSN — bytes left over in a recycled slot self-invalidate on
+// the next scan because their stamps belong to a dead generation.
+//
+// Rotation seals the active segment (pad to capacity + flush to NAND)
+// and recycles the next ring slot under a new base; the first record
+// of every segment is a header record naming its sequence number, so
+// recovery can walk the chain from the checkpoint segment forward and
+// tell a live successor from stale generations. A checkpoint durably
+// records its LSN in a CRC-tagged meta page (internal/integrity) and
+// then truncates — frees — every segment wholly below it; truncation
+// itself touches no media, which is what makes a crash mid-truncation
+// trivially safe.
+//
+// Group commit: concurrent committers register their target LSN and
+// queue on a flush lock; whoever holds the lock flushes to the maximum
+// registered target, so one BA_SYNC (or block write + fsync) burst
+// covers every waiter that arrived during the previous flush.
+//
+// Tail readers stream committed records in LSN order from a host-side
+// retained-record cache (the page-cache analog a real WAL tails),
+// blocking at the durable frontier; a reader lapped by truncation gets
+// a clean ErrTruncated, never garbage.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"twobssd/internal/core"
+	"twobssd/internal/fault"
+	"twobssd/internal/histo"
+	"twobssd/internal/integrity"
+	"twobssd/internal/obs"
+	"twobssd/internal/sim"
+	"twobssd/internal/vfs"
+)
+
+// Segment-chain format constants.
+const (
+	// segHdrMagic + the segment sequence number form the payload of the
+	// first record of every segment (written through the normal append
+	// path, so it carries the usual length/CRC/stamp header).
+	segHdrMagic = "2BSSDSEG"
+	segHdrBytes = 16
+
+	// metaMagic tags the checkpoint meta page:
+	// [4] magic | [8] checkpoint LSN | [4] CRC-32C of the first 12.
+	metaMagic = 0x32425347
+)
+
+// RecordOverhead is the per-record header size: a record returned at
+// LSN end carries its payload at [end-len(payload), end) and its
+// header at [end-len(payload)-RecordOverhead, end-len(payload)).
+const RecordOverhead = headerBytes
+
+// Lifecycle errors.
+var (
+	// ErrWALFull means the segment ring is out of free slots: every
+	// older segment is still retained. The caller must checkpoint (so
+	// truncation can free slots) before appending more.
+	ErrWALFull = errors.New("wal: segment ring full (checkpoint required)")
+
+	// ErrTruncated tells a tail reader its position was truncated by a
+	// checkpoint before it got there.
+	ErrTruncated = errors.New("wal: position truncated by a checkpoint")
+
+	// ErrReaderClosed reports a Next on a closed tail reader.
+	ErrReaderClosed = errors.New("wal: tail reader closed")
+)
+
+// SegConfig assembles a segmented log.
+type SegConfig struct {
+	// Mode is Sync (the block+flush baseline) or BA (the byte path).
+	Mode CommitMode
+
+	// FS and Name place the backing files: segment files Name.0 …
+	// Name.<Ring-1> plus the checkpoint meta page Name.meta. Files
+	// that already exist are reopened (the post-crash path); call
+	// Recover to resume from them.
+	FS   *vfs.FS
+	Name string
+
+	SegmentFileBytes int64 // capacity of each segment file (page aligned)
+	Ring             int   // ring slots (>= 2)
+
+	// Inner per-segment plumbing, as in Config. InnerSegmentBytes is
+	// the BA pin-window unit and must divide SegmentFileBytes
+	// (0 = SegmentFileBytes).
+	InnerSegmentBytes int
+	SSD               *core.TwoBSSD
+	EIDs              []core.EID
+	BufferOffset      int
+	DoubleBuffer      bool
+	AppendCPU         sim.Duration
+}
+
+// SegStats snapshots lifecycle activity (from the env's "wal.seg_*"
+// metrics, so multiple logs on one env aggregate).
+type SegStats struct {
+	Rotations    uint64
+	Checkpoints  uint64
+	Truncations  uint64
+	Commits      uint64
+	GroupFlushes uint64
+	TailRecords  uint64
+	TornRepairs  uint64
+
+	CommitTime     sim.Duration
+	RotateTime     sim.Duration
+	CheckpointTime sim.Duration
+	RecoverTime    sim.Duration
+}
+
+// RepairReport describes what torn-tail repair recovery performed.
+type RepairReport struct {
+	TornTail     bool  // a torn or stale tail was detected
+	RepairedAt   LSN   // LSN where the log was durably cut back
+	DroppedBytes int64 // bytes past the cut invalidated by the repair
+}
+
+// tailRec is one committed record retained in host memory for tail
+// readers until its segment truncates.
+type tailRec struct {
+	end     LSN // LSN just past the record
+	at      sim.Time
+	payload string // immutable copy; readers never alias log buffers
+}
+
+// segFile is one ring slot.
+type segFile struct {
+	file *vfs.File
+	log  *Log
+	seq  int64 // segment currently occupying the slot, -1 when free
+}
+
+// Segmented is a segment-managed write-ahead log.
+type Segmented struct {
+	env *sim.Env
+	cfg SegConfig
+	ps  int
+
+	segs []*segFile
+	meta *vfs.File
+
+	mu  *sim.Resource // serializes append/rotate/checkpoint state
+	fmu *sim.Resource // group-commit flush lock; rotate takes it too
+
+	firstSeg   int64 // oldest retained segment
+	curSeg     int64 // active segment
+	tail       int64 // global append frontier
+	durable    int64 // global durable frontier
+	ckpt       int64 // checkpoint LSN recorded in the meta page
+	hdrPending bool  // active segment has not written its header yet
+
+	gcTarget int64 // max commit target registered by any committer
+
+	retained map[int64][]tailRec // segment seq → records in LSN order
+	tailSig  *sim.Signal         // fired when durable/retention move
+
+	repairs    int
+	repairFail string
+
+	o   *obs.Set
+	inj *fault.Injector
+
+	cRotations, cCheckpoints, cTruncations *obs.Counter
+	cCommits, cGroupFlushes                *obs.Counter
+	cTailRecs, cRepairs                    *obs.Counter
+	hCommit, hRotate                       *histo.H
+	hCheckpoint, hRecover                  *histo.H
+	gLive                                  *obs.Gauge
+}
+
+// OpenSegmented builds a segmented log over cfg, creating the ring and
+// meta files (or reopening them after a crash — call Recover then).
+func OpenSegmented(env *sim.Env, cfg SegConfig) (*Segmented, error) {
+	if cfg.FS == nil || cfg.Name == "" {
+		return nil, fmt.Errorf("%w: segmented log needs FS and Name", ErrBadConfig)
+	}
+	if cfg.Mode != Sync && cfg.Mode != BA {
+		return nil, fmt.Errorf("%w: segmented lifecycle supports Sync and BA", ErrBadConfig)
+	}
+	if cfg.Ring < 2 {
+		return nil, fmt.Errorf("%w: segment ring needs >= 2 slots", ErrBadConfig)
+	}
+	ps := cfg.FS.PageSize()
+	if cfg.SegmentFileBytes <= 0 || cfg.SegmentFileBytes%int64(ps) != 0 {
+		return nil, fmt.Errorf("%w: SegmentFileBytes must be page aligned", ErrBadConfig)
+	}
+	if cfg.InnerSegmentBytes == 0 {
+		cfg.InnerSegmentBytes = int(cfg.SegmentFileBytes)
+	}
+	if cfg.SegmentFileBytes%int64(cfg.InnerSegmentBytes) != 0 {
+		return nil, fmt.Errorf("%w: InnerSegmentBytes must divide SegmentFileBytes", ErrBadConfig)
+	}
+	s := &Segmented{
+		env:        env,
+		cfg:        cfg,
+		ps:         ps,
+		mu:         env.NewResource(fmt.Sprintf("walseg.%s.mu", cfg.Name), 1),
+		fmu:        env.NewResource(fmt.Sprintf("walseg.%s.flush", cfg.Name), 1),
+		tailSig:    env.NewSignal(fmt.Sprintf("walseg.%s.tail", cfg.Name)),
+		hdrPending: true,
+		retained:   make(map[int64][]tailRec),
+		o:          obs.Of(env),
+		inj:        fault.Of(env),
+	}
+	for i := 0; i < cfg.Ring; i++ {
+		f, err := openOrCreate(cfg.FS, fmt.Sprintf("%s.%d", cfg.Name, i), cfg.SegmentFileBytes)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := Open(env, Config{
+			Mode: cfg.Mode, File: f, SegmentBytes: cfg.InnerSegmentBytes,
+			SSD: cfg.SSD, EIDs: cfg.EIDs, BufferOffset: cfg.BufferOffset,
+			DoubleBuffer: cfg.DoubleBuffer, AppendCPU: cfg.AppendCPU,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.segs = append(s.segs, &segFile{file: f, log: inner, seq: -1})
+	}
+	var err error
+	if s.meta, err = openOrCreate(cfg.FS, cfg.Name+".meta", int64(ps)); err != nil {
+		return nil, err
+	}
+	s.segs[0].seq = 0
+	reg := s.o.Registry()
+	s.cRotations = reg.Counter("wal.seg_rotations")
+	s.cCheckpoints = reg.Counter("wal.seg_checkpoints")
+	s.cTruncations = reg.Counter("wal.seg_truncations")
+	s.cCommits = reg.Counter("wal.seg_commits")
+	s.cGroupFlushes = reg.Counter("wal.seg_group_flushes")
+	s.cTailRecs = reg.Counter("wal.seg_tail_records")
+	s.cRepairs = reg.Counter("wal.seg_torn_repairs")
+	s.hCommit = reg.Histo("wal.seg_commit_ns")
+	s.hRotate = reg.Histo("wal.seg_rotate_ns")
+	s.hCheckpoint = reg.Histo("wal.seg_checkpoint_ns")
+	s.hRecover = reg.Histo("wal.seg_recover_ns")
+	s.gLive = reg.Gauge("wal.seg_live")
+	s.gLive.Set(1)
+	return s, nil
+}
+
+func openOrCreate(fs *vfs.FS, name string, capacity int64) (*vfs.File, error) {
+	if fs.Exists(name) {
+		return fs.Open(name)
+	}
+	return fs.Create(name, capacity)
+}
+
+// Mode returns the commit mode.
+func (s *Segmented) Mode() CommitMode { return s.cfg.Mode }
+
+// TailLSN returns the global append frontier.
+func (s *Segmented) TailLSN() LSN { return LSN(s.tail) }
+
+// DurableLSN returns the LSN below which every record is durable.
+func (s *Segmented) DurableLSN() LSN { return LSN(s.durable) }
+
+// CheckpointLSN returns the last durably recorded checkpoint.
+func (s *Segmented) CheckpointLSN() LSN { return LSN(s.ckpt) }
+
+// RetainedLSN returns the retention floor: tail readers positioned
+// below it see ErrTruncated.
+func (s *Segmented) RetainedLSN() LSN { return LSN(s.firstSeg * s.segBytes()) }
+
+// Segments returns the live segment range [first, cur].
+func (s *Segmented) Segments() (first, cur int64) { return s.firstSeg, s.curSeg }
+
+// RepairStatus reports the last Recover's torn-tail repairs and any
+// repair failure (campaigns feed this through fault.RepairReporter).
+func (s *Segmented) RepairStatus() (repairs int, failure string) {
+	return s.repairs, s.repairFail
+}
+
+// Stats snapshots the env's segmented-WAL metrics.
+func (s *Segmented) Stats() SegStats {
+	return SegStats{
+		Rotations:    s.cRotations.Value(),
+		Checkpoints:  s.cCheckpoints.Value(),
+		Truncations:  s.cTruncations.Value(),
+		Commits:      s.cCommits.Value(),
+		GroupFlushes: s.cGroupFlushes.Value(),
+		TailRecords:  s.cTailRecs.Value(),
+		TornRepairs:  s.cRepairs.Value(),
+
+		CommitTime:     s.hCommit.Sum(),
+		RotateTime:     s.hRotate.Sum(),
+		CheckpointTime: s.hCheckpoint.Sum(),
+		RecoverTime:    s.hRecover.Sum(),
+	}
+}
+
+func (s *Segmented) segBytes() int64 { return s.cfg.SegmentFileBytes }
+
+func (s *Segmented) active() *segFile {
+	return s.segs[s.curSeg%int64(len(s.segs))]
+}
+
+// maxRecord is the largest payload+header Append accepts: a record
+// must fit one inner segment, and when the file is a single inner
+// segment it also shares that segment with the header record.
+func (s *Segmented) maxRecord() int {
+	m := s.cfg.InnerSegmentBytes
+	if int64(m) == s.cfg.SegmentFileBytes {
+		m -= headerBytes + segHdrBytes
+	}
+	return m
+}
+
+// ensureHdr appends the active segment's header record (first record
+// of every segment: magic + sequence number). Called with s.mu held.
+func (s *Segmented) ensureHdr(p *sim.Proc) error {
+	if !s.hdrPending {
+		return nil
+	}
+	hdr := make([]byte, segHdrBytes)
+	copy(hdr, segHdrMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.curSeg))
+	if _, err := s.active().log.Append(p, hdr); err != nil {
+		return err
+	}
+	s.hdrPending = false
+	s.tail = s.curSeg*s.segBytes() + s.active().log.AppendOff()
+	return nil
+}
+
+// Append stages one record and returns its global LSN (the commit
+// target). Rotation happens here, transparently, when the active
+// segment file fills; ErrWALFull means every ring slot is still
+// retained and a checkpoint must free some.
+func (s *Segmented) Append(p *sim.Proc, payload []byte) (LSN, error) {
+	if headerBytes+len(payload) > s.maxRecord() {
+		return 0, fmt.Errorf("%w: %d > segment %d", ErrTooLarge, headerBytes+len(payload), s.maxRecord())
+	}
+	s.mu.Acquire(p)
+	defer s.mu.Release()
+	if err := s.ensureHdr(p); err != nil {
+		return 0, err
+	}
+	lsn, err := s.active().log.Append(p, payload)
+	if errors.Is(err, ErrLogFull) {
+		if err = s.rotate(p); err != nil {
+			return 0, err
+		}
+		if err = s.ensureHdr(p); err != nil {
+			return 0, err
+		}
+		lsn, err = s.active().log.Append(p, payload)
+	}
+	if err != nil {
+		return 0, err
+	}
+	g := s.curSeg*s.segBytes() + int64(lsn)
+	s.tail = g
+	s.retained[s.curSeg] = append(s.retained[s.curSeg], tailRec{
+		end: LSN(g), at: s.env.Now(), payload: string(payload),
+	})
+	return LSN(g), nil
+}
+
+// rotate seals the active segment and recycles the next ring slot
+// under the next segment's base. Called with s.mu held; takes the
+// flush lock so no group-commit leader is mid-flush on the inner log
+// it is about to seal and recycle.
+func (s *Segmented) rotate(p *sim.Proc) error {
+	next := s.curSeg + 1
+	slot := s.segs[next%int64(len(s.segs))]
+	if slot.seq >= 0 && slot.seq >= s.firstSeg {
+		return ErrWALFull
+	}
+	t0 := s.env.Now()
+	sp := s.o.Tracer().BeginProc(p, "wal", "seg_rotate")
+	defer sp.End()
+	s.fmu.Acquire(p)
+	defer s.fmu.Release()
+	if err := s.active().log.Seal(p); err != nil {
+		return err
+	}
+	base := next * s.segBytes()
+	if base > s.durable {
+		s.durable = base
+	}
+	if err := slot.log.Recycle(base); err != nil {
+		return err
+	}
+	slot.seq = next
+	s.curSeg = next
+	s.hdrPending = true
+	s.cRotations.Inc()
+	s.inj.Tick(fault.EvWalRotate)
+	s.hRotate.Observe(sim.Duration(s.env.Now() - t0))
+	s.gLive.Set(float64(s.curSeg - s.firstSeg + 1))
+	s.tailSig.Fire() // the sealed segment's bytes are durable now
+	return nil
+}
+
+// Commit makes the log durable up to lsn, with group commit: the
+// target is registered, committers queue on the flush lock, and
+// whoever holds it flushes to the maximum registered target — one
+// BA_SYNC / block+fsync burst covers every waiter.
+func (s *Segmented) Commit(p *sim.Proc, lsn LSN) error {
+	start := s.env.Now()
+	sp := s.o.Tracer().BeginProc(p, "wal", "seg_commit")
+	defer func() {
+		sp.End()
+		s.cCommits.Inc()
+		s.hCommit.Observe(sim.Duration(s.env.Now() - start))
+	}()
+	target := int64(lsn)
+	if target > s.gcTarget {
+		s.gcTarget = target
+	}
+	for s.durable < target {
+		s.fmu.Acquire(p)
+		if s.durable >= target {
+			s.fmu.Release() // a previous leader's flush covered us
+			break
+		}
+		goal := s.gcTarget
+		err := s.flushTo(p, goal)
+		if err != nil {
+			s.fmu.Release()
+			return err
+		}
+		if goal > s.durable {
+			s.durable = goal
+			s.cGroupFlushes.Inc()
+			s.tailSig.Fire()
+		}
+		s.fmu.Release()
+	}
+	return nil
+}
+
+// flushTo persists [durable, goal) through the active inner log.
+// Called with the flush lock held, so rotation cannot move the active
+// segment underneath the flush.
+func (s *Segmented) flushTo(p *sim.Proc, goal int64) error {
+	base := s.curSeg * s.segBytes()
+	if goal <= base {
+		return nil // covered entirely by sealed (already durable) segments
+	}
+	return s.active().log.Commit(p, LSN(goal-base))
+}
+
+// Drain forces everything appended so far durable.
+func (s *Segmented) Drain(p *sim.Proc) error {
+	return s.Commit(p, LSN(s.tail))
+}
+
+// FlushToNAND pushes the whole log down to flash and unpins the active
+// segment's BA windows (sealed segments are flushed at rotation).
+func (s *Segmented) FlushToNAND(p *sim.Proc) error {
+	if err := s.active().log.FlushToNAND(p); err != nil {
+		return err
+	}
+	if s.tail > s.durable {
+		s.durable = s.tail
+		s.tailSig.Fire()
+	}
+	return nil
+}
+
+// Rebind moves a fully-flushed BA-mode segmented log onto different
+// mapping-table entries / a different BA-buffer window (slot leasing:
+// see fleet's slotManager). Applies to every ring slot's inner log.
+func (s *Segmented) Rebind(eids []core.EID, bufferOffset int) error {
+	for _, sf := range s.segs {
+		if err := sf.log.Rebind(eids, bufferOffset); err != nil {
+			return err
+		}
+	}
+	s.cfg.EIDs = append([]core.EID(nil), eids...)
+	s.cfg.BufferOffset = bufferOffset
+	return nil
+}
+
+// Checkpoint durably records that the caller's state covers the log up
+// to lsn (the caller persists its snapshot FIRST), then truncates —
+// frees — every segment wholly below the checkpoint. Commit-to-lsn is
+// forced first so a checkpoint never claims coverage of volatile
+// records. Truncation touches no media: freed slots are recycled by a
+// later rotation, and their stale bytes self-invalidate via stamps.
+func (s *Segmented) Checkpoint(p *sim.Proc, lsn LSN) error {
+	target := int64(lsn)
+	if target > s.tail {
+		return fmt.Errorf("%w: checkpoint %d past tail %d", ErrBadConfig, target, s.tail)
+	}
+	if err := s.Commit(p, lsn); err != nil {
+		return err
+	}
+	t0 := s.env.Now()
+	sp := s.o.Tracer().BeginProc(p, "wal", "seg_checkpoint")
+	defer sp.End()
+	s.mu.Acquire(p)
+	defer s.mu.Release()
+	if target <= s.ckpt {
+		return nil // checkpoints are monotonic
+	}
+	if err := s.writeMeta(p, target); err != nil {
+		return err
+	}
+	s.ckpt = target
+	s.cCheckpoints.Inc()
+	s.inj.Tick(fault.EvWalCheckpoint)
+	freed := false
+	for s.firstSeg < s.curSeg && (s.firstSeg+1)*s.segBytes() <= s.ckpt {
+		slot := s.segs[s.firstSeg%int64(len(s.segs))]
+		slot.seq = -1
+		delete(s.retained, s.firstSeg)
+		s.firstSeg++
+		s.cTruncations.Inc()
+		s.inj.Tick(fault.EvWalTruncate)
+		freed = true
+	}
+	s.gLive.Set(float64(s.curSeg - s.firstSeg + 1))
+	s.hCheckpoint.Observe(sim.Duration(s.env.Now() - t0))
+	if freed {
+		s.tailSig.Fire() // lapped tail readers must learn ErrTruncated
+	}
+	return nil
+}
+
+func (s *Segmented) writeMeta(p *sim.Proc, ckpt int64) error {
+	page := make([]byte, s.ps)
+	binary.LittleEndian.PutUint32(page[0:], metaMagic)
+	binary.LittleEndian.PutUint64(page[4:], uint64(ckpt))
+	binary.LittleEndian.PutUint32(page[12:], integrity.PageCRC(page[:12]))
+	if err := s.meta.WriteAt(p, 0, page); err != nil {
+		return err
+	}
+	return s.meta.Sync(p)
+}
+
+// readMeta returns the durably recorded checkpoint LSN, or 0 when the
+// meta page is fresh or fails its integrity tag.
+func (s *Segmented) readMeta(p *sim.Proc) (int64, error) {
+	page := make([]byte, s.ps)
+	if err := s.meta.ReadAt(p, 0, page); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(page[0:]) != metaMagic {
+		return 0, nil
+	}
+	if integrity.Check(page[:12], binary.LittleEndian.Uint32(page[12:])) != nil {
+		return 0, nil
+	}
+	return int64(binary.LittleEndian.Uint64(page[4:])), nil
+}
+
+// ---- tailing readers ----
+
+// TailRecord is one committed record delivered to a tail reader.
+type TailRecord struct {
+	LSN     LSN      // LSN just past the record (resume position)
+	At      sim.Time // append instant
+	Payload string
+}
+
+// TailReader streams committed records in LSN order, following the
+// durable frontier. Readers see only whole, committed user records —
+// never segment headers, padding, or volatile bytes.
+type TailReader struct {
+	s      *Segmented
+	pos    int64
+	closed bool
+}
+
+// Tail opens a reader positioned at from (use 0 for the whole log).
+func (s *Segmented) Tail(from LSN) *TailReader {
+	return &TailReader{s: s, pos: int64(from)}
+}
+
+// Pos returns the reader's resume position.
+func (r *TailReader) Pos() LSN { return LSN(r.pos) }
+
+// Close releases the reader; a blocked Next returns ErrReaderClosed.
+func (r *TailReader) Close() {
+	if !r.closed {
+		r.closed = true
+		r.s.tailSig.Fire()
+	}
+}
+
+// TryNext returns the next committed record without blocking. ok=false
+// with a nil error means the reader is caught up with the durable
+// frontier; ErrTruncated means a checkpoint truncated the reader's
+// position before it got there.
+func (r *TailReader) TryNext() (TailRecord, bool, error) {
+	s := r.s
+	for {
+		if r.closed {
+			return TailRecord{}, false, ErrReaderClosed
+		}
+		if r.pos < s.firstSeg*s.segBytes() {
+			return TailRecord{}, false, ErrTruncated
+		}
+		seg := r.pos / s.segBytes()
+		recs := s.retained[seg]
+		i := sort.Search(len(recs), func(i int) bool { return int64(recs[i].end) > r.pos })
+		if i < len(recs) {
+			if int64(recs[i].end) > s.durable {
+				return TailRecord{}, false, nil // not committed yet
+			}
+			rec := recs[i]
+			r.pos = int64(rec.end)
+			s.cTailRecs.Inc()
+			return TailRecord{LSN: rec.end, At: rec.at, Payload: rec.payload}, true, nil
+		}
+		if seg < s.curSeg {
+			r.pos = (seg + 1) * s.segBytes() // sealed segment exhausted
+			continue
+		}
+		return TailRecord{}, false, nil
+	}
+}
+
+// Next blocks until a record is available (or the position truncates,
+// or the reader is closed from another proc).
+func (r *TailReader) Next(p *sim.Proc) (TailRecord, error) {
+	for {
+		rec, ok, err := r.TryNext()
+		if err != nil {
+			return TailRecord{}, err
+		}
+		if ok {
+			return rec, nil
+		}
+		r.s.tailSig.Wait(p)
+	}
+}
+
+// WaitTail parks until the durable frontier or retention window moves
+// (external shippers poll TryNext and park here between batches).
+func (s *Segmented) WaitTail(p *sim.Proc) { s.tailSig.Wait(p) }
+
+// WakeTail wakes every parked tail reader/shipper so it can re-check
+// its termination condition.
+func (s *Segmented) WakeTail() { s.tailSig.Fire() }
+
+// ---- recovery ----
+
+// Recover rebuilds the log from media after a crash (or verifies a
+// quiesced live log end to end): it reads the checkpoint meta page,
+// probes every ring slot's segment header, walks the segment chain
+// from the checkpoint segment forward replaying every intact record
+// past the checkpoint into fn, detects a torn or stale tail (bad
+// stamp, overrun, or CRC mismatch), durably repairs it by cutting the
+// log back to the last intact record, and positions the log to append
+// after the tail. The caller must quiesce appenders/committers first.
+func (s *Segmented) Recover(p *sim.Proc, fn func(lsn LSN, payload []byte) error) (RepairReport, error) {
+	var rep RepairReport
+	t0 := s.env.Now()
+	sp := s.o.Tracer().BeginProc(p, "wal", "seg_recover")
+	defer sp.End()
+	s.repairs, s.repairFail = 0, ""
+	s.retained = make(map[int64][]tailRec)
+
+	if s.cfg.Mode == BA {
+		// Entries pinned over any ring file before the crash were
+		// restored from the capacitor dump; flush them so the block
+		// scan below sees everything.
+		for _, sf := range s.segs {
+			if err := sf.log.unpinMine(p); err != nil {
+				return rep, err
+			}
+		}
+	}
+	ckpt, err := s.readMeta(p)
+	if err != nil {
+		return rep, err
+	}
+	ring := int64(len(s.segs))
+	slotSeq := make([]int64, ring)
+	for i := range s.segs {
+		slotSeq[i] = s.probeSlot(p, i)
+	}
+
+	firstSeg := ckpt / s.segBytes()
+	seg := firstSeg
+	tail := ckpt
+	hdrPending := false
+	for {
+		slot := int(seg % ring)
+		if slotSeq[slot] != seg {
+			// The chain ends before seg ever persisted a header: seg is
+			// the (empty) active segment.
+			tail = seg * s.segBytes()
+			if tail < ckpt {
+				tail = ckpt
+			}
+			hdrPending = true
+			break
+		}
+		sf := s.segs[slot]
+		end, reached, torn, serr := s.scanSegment(p, sf, seg, ckpt, fn)
+		if serr != nil {
+			return rep, serr
+		}
+		if reached && slotSeq[int((seg+1)%ring)] == seg+1 {
+			seg++ // sealed segment: the chain continues in the next slot
+			continue
+		}
+		tail = seg*s.segBytes() + end
+		if torn {
+			rep.TornTail = true
+			rep.RepairedAt = LSN(tail)
+			rep.DroppedBytes = (seg+1)*s.segBytes() - tail
+			if rerr := s.repairTail(p, sf, end); rerr != nil {
+				s.repairFail = rerr.Error()
+			} else {
+				s.repairs++
+				s.cRepairs.Inc()
+			}
+		}
+		break
+	}
+
+	for i := range s.segs {
+		if q := slotSeq[i]; q >= firstSeg && q <= seg {
+			s.segs[i].seq = q
+		} else {
+			s.segs[i].seq = -1
+		}
+	}
+	sf := s.segs[seg%ring]
+	sf.seq = seg
+	base := seg * s.segBytes()
+	localTail := tail - base
+	il := sf.log
+	il.cfg.BaseLSN = base
+	il.appendOff, il.durableOff, il.flushedOff = localTail, localTail, localTail
+	if il.stage != nil {
+		for i := range il.stage {
+			il.stage[i] = 0
+		}
+		if localTail > 0 {
+			if err := sf.file.ReadAt(p, 0, il.stage[:localTail]); err != nil {
+				return rep, err
+			}
+		}
+	}
+	s.firstSeg, s.curSeg = firstSeg, seg
+	s.tail, s.durable, s.ckpt = tail, tail, ckpt
+	s.gcTarget = tail
+	s.hdrPending = hdrPending
+	s.gLive.Set(float64(s.curSeg - s.firstSeg + 1))
+	s.hRecover.Observe(sim.Duration(s.env.Now() - t0))
+	s.tailSig.Fire()
+	return rep, nil
+}
+
+// probeSlot validates ring slot i's segment header record and returns
+// the segment sequence it holds, or -1: the header must be an intact
+// record at position 0 whose stamp is a segment base owned by this
+// slot and whose payload names the same sequence.
+func (s *Segmented) probeSlot(p *sim.Proc, i int) int64 {
+	hdr := make([]byte, headerBytes+segHdrBytes)
+	if err := s.segs[i].file.ReadAt(p, 0, hdr); err != nil {
+		return -1
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != segHdrBytes {
+		return -1
+	}
+	payload := hdr[headerBytes:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return -1
+	}
+	stamp := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	if stamp < 0 || stamp%s.segBytes() != 0 {
+		return -1
+	}
+	seq := stamp / s.segBytes()
+	if seq%int64(len(s.segs)) != int64(i) {
+		return -1
+	}
+	if string(payload[:8]) != segHdrMagic ||
+		int64(binary.LittleEndian.Uint64(payload[8:])) != seq {
+		return -1
+	}
+	return seq
+}
+
+// scanSegment walks one segment file from position 0. It replays every
+// intact user record ending past ckpt into fn (and the retained cache)
+// and classifies how the scan ended: reached means it ran to the file's
+// capacity (a sealed segment); torn means it hit stale or torn bytes —
+// a stamp from a dead generation, a length overrunning the inner
+// segment, or a CRC mismatch.
+func (s *Segmented) scanSegment(p *sim.Proc, sf *segFile, seg, ckpt int64, fn func(LSN, []byte) error) (end int64, reached, torn bool, err error) {
+	base := seg * s.segBytes()
+	fcap := sf.file.Capacity()
+	inner := int64(s.cfg.InnerSegmentBytes)
+	hdr := make([]byte, headerBytes)
+	pos := int64(0)
+	for pos+headerBytes <= fcap {
+		segEnd := (pos/inner + 1) * inner
+		if segEnd > fcap {
+			segEnd = fcap
+		}
+		if pos+headerBytes > segEnd {
+			pos = segEnd
+			continue
+		}
+		if err := sf.file.ReadAt(p, pos, hdr); err != nil {
+			return 0, false, false, err
+		}
+		rawLen := binary.LittleEndian.Uint32(hdr[0:])
+		if rawLen == 0 {
+			return pos, false, false, nil // clean end of the segment
+		}
+		if rawLen == padMarker {
+			pos = segEnd
+			continue
+		}
+		n := int64(rawLen)
+		stamp := int64(binary.LittleEndian.Uint64(hdr[8:]))
+		if stamp != base+pos || pos+headerBytes+n > segEnd {
+			return pos, false, true, nil
+		}
+		payload := make([]byte, n)
+		if err := sf.file.ReadAt(p, pos+headerBytes, payload); err != nil {
+			return 0, false, false, err
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+			return pos, false, true, nil
+		}
+		recStart := pos
+		pos += headerBytes + n
+		if recStart == 0 {
+			continue // the segment header record, not a user record
+		}
+		g := base + pos
+		if g <= ckpt {
+			continue // already covered by the checkpointed state
+		}
+		s.retained[seg] = append(s.retained[seg], tailRec{
+			end: LSN(g), at: s.env.Now(), payload: string(payload),
+		})
+		if fn != nil {
+			if err := fn(LSN(g), payload); err != nil {
+				return 0, false, false, err
+			}
+		}
+	}
+	return pos, true, false, nil
+}
+
+// repairTail durably cuts the log back to localEnd by writing a zero
+// length field — the end-of-log marker — over the torn bytes, then
+// reads it back to prove the cut took. Idempotent: a repeat crash
+// re-scans to the same clean end with nothing left to repair.
+func (s *Segmented) repairTail(p *sim.Proc, sf *segFile, localEnd int64) error {
+	zero := []byte{0, 0, 0, 0}
+	if err := sf.file.WriteAt(p, localEnd, zero); err != nil {
+		return err
+	}
+	if err := sf.file.Sync(p); err != nil {
+		return err
+	}
+	chk := make([]byte, 4)
+	if err := sf.file.ReadAt(p, localEnd, chk); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(chk) != 0 {
+		return fmt.Errorf("wal: torn-tail repair readback at %d not clean", localEnd)
+	}
+	return nil
+}

@@ -1,0 +1,523 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"twobssd/internal/core"
+	"twobssd/internal/sim"
+)
+
+// segCfg is the standard test geometry: 16 KB segment files (4 pages)
+// on a 4-slot ring, two inner segments per file.
+func segCfg(r *rig, mode CommitMode) SegConfig {
+	ps := int64(r.fs.PageSize())
+	cfg := SegConfig{
+		Mode:              mode,
+		FS:                r.fs,
+		Name:              "seg",
+		SegmentFileBytes:  4 * ps,
+		Ring:              4,
+		InnerSegmentBytes: 2 * int(ps),
+	}
+	if mode == BA {
+		cfg.SSD = r.ssd
+		cfg.EIDs = []core.EID{0, 1}
+		cfg.DoubleBuffer = true
+	}
+	return cfg
+}
+
+func openSeg(t *testing.T, r *rig, mode CommitMode) *Segmented {
+	t.Helper()
+	s, err := OpenSegmented(r.env, segCfg(r, mode))
+	if err != nil {
+		t.Fatalf("OpenSegmented: %v", err)
+	}
+	return s
+}
+
+// segPayload pads records to ~1.4 KB so a handful fills a 16 KB
+// segment file and the tests exercise rotation.
+func segPayload(i int) string {
+	return fmt.Sprintf("rec-%03d-", i) + strings.Repeat("p", 1400)
+}
+
+func TestSegmentedValidation(t *testing.T) {
+	r := newRig()
+	ps := int64(r.fs.PageSize())
+	bad := []SegConfig{
+		{Mode: Sync}, // no FS/Name
+		{Mode: Async, FS: r.fs, Name: "a", SegmentFileBytes: 4 * ps, Ring: 2}, // unsupported mode
+		{Mode: Sync, FS: r.fs, Name: "b", SegmentFileBytes: 4 * ps, Ring: 1},  // ring too small
+		{Mode: Sync, FS: r.fs, Name: "c", SegmentFileBytes: 4*ps + 1, Ring: 2},
+		{Mode: Sync, FS: r.fs, Name: "d", SegmentFileBytes: 4 * ps, Ring: 2, InnerSegmentBytes: 3000},
+	}
+	for i, cfg := range bad {
+		if _, err := OpenSegmented(r.env, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+// TestSegmentedRoundtrip drives the full lifecycle in both modes:
+// appends across several rotations, a mid-stream checkpoint, then a
+// clean recovery through a fresh handle that must replay exactly the
+// records past the checkpoint, in LSN order, with nothing to repair.
+func TestSegmentedRoundtrip(t *testing.T) {
+	for _, mode := range []CommitMode{Sync, BA} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r := newRig()
+			sl := openSeg(t, r, mode)
+			const n = 28
+			ends := make([]LSN, n)
+			var ckpt LSN
+			r.env.Go("write", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					lsn, err := sl.Append(p, []byte(segPayload(i)))
+					if err != nil {
+						t.Fatalf("append %d: %v", i, err)
+					}
+					if err := sl.Commit(p, lsn); err != nil {
+						t.Fatalf("commit %d: %v", i, err)
+					}
+					ends[i] = lsn
+					// Checkpoint from inside segment 1, so segment 0 truncates.
+					if i == 14 {
+						ckpt = lsn
+						if err := sl.Checkpoint(p, lsn); err != nil {
+							t.Fatalf("checkpoint: %v", err)
+						}
+					}
+				}
+				if err := sl.FlushToNAND(p); err != nil {
+					t.Fatalf("flush: %v", err)
+				}
+			})
+			r.env.Run()
+			if first, cur := sl.Segments(); cur < 2 || first == 0 {
+				t.Fatalf("segments = [%d, %d], want rotation and truncation", first, cur)
+			}
+			if sl.CheckpointLSN() != ckpt {
+				t.Fatalf("ckpt = %d, want %d", sl.CheckpointLSN(), ckpt)
+			}
+
+			rl, err := OpenSegmented(r.env, segCfg(r, mode))
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			var got []string
+			var gotLSNs []LSN
+			var rep RepairReport
+			r.env.Go("recover", func(p *sim.Proc) {
+				rep, err = rl.Recover(p, func(lsn LSN, payload []byte) error {
+					got = append(got, string(payload))
+					gotLSNs = append(gotLSNs, lsn)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+				// The recovered log must accept appends right where the
+				// old one stopped.
+				lsn, err := rl.Append(p, []byte("post-recovery"))
+				if err != nil {
+					t.Fatalf("append after recover: %v", err)
+				}
+				if err := rl.Commit(p, lsn); err != nil {
+					t.Fatalf("commit after recover: %v", err)
+				}
+			})
+			r.env.Run()
+			if rep.TornTail {
+				t.Fatalf("clean shutdown reported a torn tail: %+v", rep)
+			}
+			if reps, fail := rl.RepairStatus(); reps != 0 || fail != "" {
+				t.Fatalf("repairs = %d %q, want none", reps, fail)
+			}
+			var want []string
+			var wantLSNs []LSN
+			for i := 0; i < n; i++ {
+				if ends[i] > ckpt {
+					want = append(want, segPayload(i))
+					wantLSNs = append(wantLSNs, ends[i])
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] || gotLSNs[i] != wantLSNs[i] {
+					t.Fatalf("record %d: got %q@%d, want %q@%d",
+						i, got[i][:12], gotLSNs[i], want[i][:12], wantLSNs[i])
+				}
+			}
+			r.env.Shutdown()
+		})
+	}
+}
+
+// buildBoundaryTail writes records until the first user record lands
+// just past a segment boundary — the final record of the stream is the
+// first user record of segment 1 — and returns everything a corruption
+// test needs to mangle it on media.
+func buildBoundaryTail(t *testing.T) (r *rig, payloads []string, last LSN) {
+	t.Helper()
+	r = newRig()
+	sl := openSeg(t, r, Sync)
+	r.env.Go("write", func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			payload := segPayload(i)
+			lsn, err := sl.Append(p, []byte(payload))
+			if err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			if err := sl.Commit(p, lsn); err != nil {
+				t.Fatalf("commit %d: %v", i, err)
+			}
+			payloads = append(payloads, payload)
+			last = lsn
+			if _, cur := sl.Segments(); cur == 1 {
+				return // this record straddled the rotation into segment 1
+			}
+		}
+	})
+	r.env.Run()
+	return r, payloads, last
+}
+
+// corruptAndRecover mangles the straddling record on media via the raw
+// file (mangle gets the record's local start offset within segment 1's
+// ring file), recovers through a fresh handle, and returns the report
+// plus the replayed payloads.
+func corruptAndRecover(t *testing.T, r *rig, last LSN, lastLen int, mangle func(p *sim.Proc, start int64)) (RepairReport, []string, *Segmented) {
+	t.Helper()
+	cfg := segCfg(r, Sync)
+	segBytes := cfg.SegmentFileBytes
+	f, err := r.fs.Open("seg.1")
+	if err != nil {
+		t.Fatalf("open seg.1: %v", err)
+	}
+	localStart := int64(last) - segBytes - int64(lastLen) - RecordOverhead
+	r.env.Go("corrupt", func(p *sim.Proc) {
+		mangle(p, localStart)
+		if err := f.Sync(p); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+	})
+	r.env.Run()
+
+	rl, err := OpenSegmented(r.env, cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	var rep RepairReport
+	var got []string
+	r.env.Go("recover", func(p *sim.Proc) {
+		rep, err = rl.Recover(p, func(_ LSN, payload []byte) error {
+			got = append(got, string(payload))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+	})
+	r.env.Run()
+	return rep, got, rl
+}
+
+// TestSegmentedTornBoundaryRecord tears the final record right after a
+// segment boundary — the first user record of a freshly rotated
+// segment — in two ways: a payload bit flip (CRC mismatch) and an
+// overrun length field. Recovery must replay everything before the
+// boundary, cut the tail back durably, and a second recovery must find
+// nothing left to repair (the repair is idempotent).
+func TestSegmentedTornBoundaryRecord(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(t *testing.T, p *sim.Proc, f func(p *sim.Proc, off int64, b []byte), start int64)
+	}{
+		{"crc", func(t *testing.T, p *sim.Proc, write func(p *sim.Proc, off int64, b []byte), start int64) {
+			write(p, start+RecordOverhead, []byte{'X'}) // flip a payload byte
+		}},
+		{"overrun", func(t *testing.T, p *sim.Proc, write func(p *sim.Proc, off int64, b []byte), start int64) {
+			n := make([]byte, 4)
+			binary.LittleEndian.PutUint32(n, 1<<30) // length overruns the segment
+			write(p, start, n)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, payloads, last := buildBoundaryTail(t)
+			lastLen := len(payloads[len(payloads)-1])
+			f, err := r.fs.Open("seg.1")
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			write := func(p *sim.Proc, off int64, b []byte) {
+				if err := f.WriteAt(p, off, b); err != nil {
+					t.Fatalf("corrupt write: %v", err)
+				}
+			}
+			rep, got, _ := corruptAndRecover(t, r, last, lastLen,
+				func(p *sim.Proc, start int64) { tc.mangle(t, p, write, start) })
+			if !rep.TornTail {
+				t.Fatalf("recovery missed the torn tail: %+v", rep)
+			}
+			// The cut lands right after segment 1's header record.
+			segBytes := segCfg(r, Sync).SegmentFileBytes
+			wantCut := LSN(segBytes + RecordOverhead + segHdrBytes)
+			if rep.RepairedAt != wantCut {
+				t.Fatalf("repaired at %d, want %d", rep.RepairedAt, wantCut)
+			}
+			want := payloads[:len(payloads)-1] // the torn record is dropped
+			if len(got) != len(want) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("record %d differs after repair", i)
+				}
+			}
+
+			// Idempotence: a fresh recovery over the repaired media finds a
+			// clean tail and repairs nothing.
+			rl2, err := OpenSegmented(r.env, segCfg(r, Sync))
+			if err != nil {
+				t.Fatalf("reopen 2: %v", err)
+			}
+			var again []string
+			r.env.Go("recover2", func(p *sim.Proc) {
+				rep2, err := rl2.Recover(p, func(_ LSN, payload []byte) error {
+					again = append(again, string(payload))
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("recover 2: %v", err)
+				}
+				if rep2.TornTail {
+					t.Fatalf("second recovery re-reported the repaired tail: %+v", rep2)
+				}
+			})
+			r.env.Run()
+			if reps, fail := rl2.RepairStatus(); reps != 0 || fail != "" {
+				t.Fatalf("second recovery repairs = %d %q, want none", reps, fail)
+			}
+			if len(again) != len(want) {
+				t.Fatalf("second recovery replayed %d, want %d", len(again), len(want))
+			}
+			r.env.Shutdown()
+		})
+	}
+}
+
+// TestSegmentedTruncationRacesReader checkpoints past a lagging tail
+// reader: the reader streams a valid prefix, then gets a clean
+// ErrTruncated — never garbage — once its position falls below the
+// retention floor.
+func TestSegmentedTruncationRacesReader(t *testing.T) {
+	r := newRig()
+	sl := openSeg(t, r, Sync)
+	reader := sl.Tail(0)
+	var prefix []string
+	var truncErr error
+	r.env.Go("race", func(p *sim.Proc) {
+		// Commit a couple of records and let the reader consume them.
+		for i := 0; i < 2; i++ {
+			lsn, err := sl.Append(p, []byte(segPayload(i)))
+			if err == nil {
+				err = sl.Commit(p, lsn)
+			}
+			if err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+		}
+		for {
+			rec, ok, err := reader.TryNext()
+			if err != nil || !ok {
+				break
+			}
+			prefix = append(prefix, rec.Payload)
+		}
+		// Now outrun the reader: enough records to rotate twice, then a
+		// checkpoint that truncates the reader's segment away.
+		var last LSN
+		for i := 2; i < 25; i++ {
+			lsn, err := sl.Append(p, []byte(segPayload(i)))
+			if err == nil {
+				err = sl.Commit(p, lsn)
+			}
+			if err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			last = lsn
+		}
+		if err := sl.Checkpoint(p, last); err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+		if LSN(0) >= sl.RetainedLSN() {
+			t.Fatalf("checkpoint did not move the retention floor")
+		}
+		_, _, truncErr = reader.TryNext()
+	})
+	r.env.Run()
+	if len(prefix) != 2 || prefix[0] != segPayload(0) || prefix[1] != segPayload(1) {
+		t.Fatalf("reader prefix = %d records, want the 2 committed ones", len(prefix))
+	}
+	if !errors.Is(truncErr, ErrTruncated) {
+		t.Fatalf("lapped reader err = %v, want ErrTruncated", truncErr)
+	}
+	// A closed reader reports ErrReaderClosed, not the stale position.
+	reader.Close()
+	if _, _, err := reader.TryNext(); !errors.Is(err, ErrReaderClosed) {
+		t.Fatalf("closed reader err = %v, want ErrReaderClosed", err)
+	}
+	r.env.Shutdown()
+}
+
+// groupCommitFingerprint runs 8 concurrent committers on a fresh env
+// and digests everything observable: lifecycle stats, frontiers, and a
+// CRC over every ring file's media bytes.
+func groupCommitFingerprint(t *testing.T, mode CommitMode) (string, SegStats) {
+	t.Helper()
+	r := newRig()
+	sl := openSeg(t, r, mode)
+	wg := r.env.NewWaitGroup("committers")
+	wg.Add(8)
+	for c := 0; c < 8; c++ {
+		r.env.GoIdx("commit", c, func(p *sim.Proc, c int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				payload := fmt.Sprintf("c%d-%02d-%s", c, i, strings.Repeat("g", 900))
+				lsn, err := sl.Append(p, []byte(payload))
+				if err == nil {
+					err = sl.Commit(p, lsn)
+				}
+				if err != nil {
+					t.Errorf("committer %d op %d: %v", c, i, err)
+					return
+				}
+			}
+		})
+	}
+	var media uint32
+	r.env.Go("main", func(p *sim.Proc) {
+		wg.Wait(p)
+		if err := sl.Drain(p); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if err := sl.FlushToNAND(p); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		crc := crc32.NewIEEE()
+		for _, sf := range sl.segs {
+			buf := make([]byte, sf.file.Capacity())
+			if err := sf.file.ReadAt(p, 0, buf); err != nil {
+				t.Fatalf("read media: %v", err)
+			}
+			crc.Write(buf)
+		}
+		media = crc.Sum32()
+	})
+	r.env.Run()
+	st := sl.Stats()
+	fp := fmt.Sprintf("media=%08x tail=%d durable=%d commits=%d flushes=%d rotations=%d commit_ns=%d",
+		media, sl.TailLSN(), sl.DurableLSN(), st.Commits, st.GroupFlushes, st.Rotations, st.CommitTime)
+	r.env.Shutdown()
+	return fp, st
+}
+
+// TestSegmentedGroupCommitDeterminism: N concurrent committers produce
+// byte-identical media and metrics across independent runs, and on the
+// block+flush path the group-commit leader demonstrably coalesces
+// multiple committers per flush.
+func TestSegmentedGroupCommitDeterminism(t *testing.T) {
+	for _, mode := range []CommitMode{Sync, BA} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a, st := groupCommitFingerprint(t, mode)
+			b, _ := groupCommitFingerprint(t, mode)
+			if a != b {
+				t.Fatalf("group commit nondeterministic:\n  %s\n  %s", a, b)
+			}
+			if st.Commits != 49 { // 8 committers x 6 records + the final Drain
+				t.Fatalf("commits = %d, want 49", st.Commits)
+			}
+			if st.GroupFlushes == 0 || st.GroupFlushes > st.Commits {
+				t.Fatalf("group flushes = %d (commits %d)", st.GroupFlushes, st.Commits)
+			}
+			if mode == Sync && st.GroupFlushes >= st.Commits {
+				t.Fatalf("sync mode never coalesced: %d flushes for %d commits",
+					st.GroupFlushes, st.Commits)
+			}
+		})
+	}
+}
+
+// TestSegmentedBAPowerLoss cuts power under the BA byte path with a
+// committed history plus one staged (uncommitted) record: after the
+// capacitor dump and a fresh recovery, every committed record replays
+// in order; the staged record may legitimately survive the dump but
+// nothing else may appear.
+func TestSegmentedBAPowerLoss(t *testing.T) {
+	r := newRig()
+	sl := openSeg(t, r, BA)
+	const n = 10
+	r.env.Go("crash", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			lsn, err := sl.Append(p, []byte(segPayload(i)))
+			if err == nil {
+				err = sl.Commit(p, lsn)
+			}
+			if err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+		}
+		if _, err := sl.Append(p, []byte("staged-only")); err != nil {
+			t.Fatalf("stage: %v", err)
+		}
+		if _, err := r.ssd.PowerLoss(p); err != nil &&
+			!errors.Is(err, core.ErrInsufficient) && !errors.Is(err, core.ErrDumpTorn) {
+			t.Fatalf("power loss: %v", err)
+		}
+		if err := r.ssd.PowerOn(p); err != nil {
+			t.Fatalf("power on: %v", err)
+		}
+	})
+	r.env.Run()
+
+	rl, err := OpenSegmented(r.env, segCfg(r, BA))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	var got []string
+	r.env.Go("recover", func(p *sim.Proc) {
+		if _, err := rl.Recover(p, func(_ LSN, payload []byte) error {
+			got = append(got, string(payload))
+			return nil
+		}); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+	})
+	r.env.Run()
+	if _, fail := rl.RepairStatus(); fail != "" {
+		t.Fatalf("repair failed: %s", fail)
+	}
+	if len(got) < n {
+		t.Fatalf("recovered %d records, want the %d committed ones", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != segPayload(i) {
+			t.Fatalf("committed record %d lost or reordered", i)
+		}
+	}
+	for _, extra := range got[n:] {
+		if extra != "staged-only" {
+			t.Fatalf("phantom record %q recovered", extra[:min(len(extra), 16)])
+		}
+	}
+	r.env.Shutdown()
+}

@@ -124,6 +124,15 @@ type Config struct {
 
 	// AppendCPU charges per-append host CPU work (encode + memcpy).
 	AppendCPU sim.Duration
+
+	// BaseLSN offsets the stream-position stamp written into record
+	// headers: a record starting at local position p is stamped
+	// BaseLSN+p, and Recover requires the stamps to match. The
+	// segmented lifecycle (segmented.go) gives each segment file a
+	// distinct base so records left over in a recycled ring slot
+	// self-invalidate on the next scan. Zero (the default) keeps the
+	// original stamp == position scheme.
+	BaseLSN int64
 }
 
 // Stats aggregates log activity.
@@ -343,7 +352,7 @@ func (l *Log) Append(p *sim.Proc, payload []byte) (LSN, error) {
 	l.mu.Release()
 
 	rec := l.getRec(need)
-	encodeHeader(rec, payload, pos)
+	encodeHeader(rec, payload, l.cfg.BaseLSN+pos)
 	copy(rec[headerBytes:], payload)
 
 	if l.cfg.Mode == BA || l.cfg.Mode == PMR {
@@ -687,6 +696,54 @@ func (l *Log) Reset(p *sim.Proc) error {
 	return nil
 }
 
+// Seal pads the log out to the end of its file — segment boundary by
+// segment boundary, so every gap carries a pad marker — and flushes
+// everything to NAND. A sealed log scans cleanly from position 0 to
+// the file's capacity, which is how the segmented lifecycle's chain
+// recovery knows the stream continues in the next segment file.
+func (l *Log) Seal(p *sim.Proc) error {
+	l.mu.Acquire(p)
+	for l.appendOff < l.cfg.File.Capacity() {
+		segEnd := (l.appendOff/int64(l.cfg.SegmentBytes) + 1) * int64(l.cfg.SegmentBytes)
+		if segEnd > l.cfg.File.Capacity() {
+			segEnd = l.cfg.File.Capacity()
+		}
+		if err := l.pad(p, segEnd); err != nil {
+			l.mu.Release()
+			return err
+		}
+	}
+	l.mu.Release()
+	return l.FlushToNAND(p)
+}
+
+// Recycle re-arms the log over the same file under a new stamp base:
+// offsets return to zero, the stage clears, and subsequent records are
+// stamped newBase+position. Nothing is written to media — on-media
+// records from the previous generation self-invalidate because their
+// stamps no longer match the new base. The log must be fully flushed
+// (FlushToNAND) so no half is pinned or mid-flush.
+func (l *Log) Recycle(newBase int64) error {
+	if l.flushing {
+		return fmt.Errorf("%w: Recycle mid-flush", ErrBadConfig)
+	}
+	for _, h := range l.halves {
+		if h.seg != -1 || !h.ready {
+			return fmt.Errorf("%w: Recycle on a pinned log (FlushToNAND first)", ErrBadConfig)
+		}
+	}
+	l.cfg.BaseLSN = newBase
+	l.appendOff = 0
+	l.durableOff = 0
+	l.flushedOff = 0
+	if l.stage != nil {
+		for i := range l.stage {
+			l.stage[i] = 0
+		}
+	}
+	return nil
+}
+
 // Recover scans the log from position 0, invoking fn for every intact
 // record, and positions the log to continue appending after the last
 // one. In BA mode any of this log's segments still pinned from before
@@ -723,7 +780,7 @@ func (l *Log) Recover(p *sim.Proc, fn func(lsn LSN, payload []byte) error) error
 		n := int(rawLen)
 		wantCRC := binary.LittleEndian.Uint32(buf[4:])
 		stamp := int64(binary.LittleEndian.Uint64(buf[8:]))
-		if stamp != pos || pos+headerBytes+int64(n) > segEnd {
+		if stamp != l.cfg.BaseLSN+pos || pos+headerBytes+int64(n) > segEnd {
 			break // stale or torn
 		}
 		payload := make([]byte, n)
